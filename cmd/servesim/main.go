@@ -1,0 +1,65 @@
+// Command servesim runs the inference-serving simulation behind Figure
+// 9(c) with tunable workload knobs, printing latency percentiles and
+// model shares for the four configurations (fixed baseline, scale-out,
+// Sommelier switching, combined).
+//
+//	servesim -requests 50000 -arrival 22 -burst-factor 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sommelier/internal/serving"
+	"sommelier/internal/stats"
+)
+
+func main() {
+	var (
+		requests    = flag.Int("requests", 20000, "number of inference requests")
+		arrival     = flag.Float64("arrival", 26, "mean inter-arrival gap (ms)")
+		burstEvery  = flag.Int("burst-every", 400, "inject a burst every N requests (0 = no bursts)")
+		burstLen    = flag.Int("burst-len", 80, "requests per burst")
+		burstFactor = flag.Float64("burst-factor", 3.5, "burst arrival-rate multiplier")
+		switchStep  = flag.Int("switch-step", 4, "queue-length step between model downgrades")
+		seed        = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	// The candidate ladder Sommelier would return: flagship first, then
+	// progressively compact functional equivalents.
+	candidates := []serving.ModelChoice{
+		{ID: "flagship", ServiceMS: 20, Level: 1.0},
+		{ID: "mid", ServiceMS: 8, Level: 0.975},
+		{ID: "compact", ServiceMS: 3, Level: 0.955},
+		{ID: "tiny", ServiceMS: 1, Level: 0.93},
+	}
+	w := serving.Workload{
+		Requests:      *requests,
+		MeanArrivalMS: *arrival,
+		BurstEvery:    *burstEvery,
+		BurstLen:      *burstLen,
+		BurstFactor:   *burstFactor,
+		Seed:          *seed,
+	}
+	cmp, err := serving.RunComparison(w, candidates, *switchStep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servesim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %d requests, mean gap %.1fms, bursts x%.0f every %d\n\n",
+		*requests, *arrival, *burstFactor, *burstEvery)
+	fmt.Printf("%-22s %8s %8s %8s %8s %11s  %s\n",
+		"CONFIGURATION", "P50", "P90", "P99", "MAX", "MEAN-LEVEL", "MODEL SHARE")
+	for _, r := range []serving.Result{cmp.Baseline, cmp.ScaleOut, cmp.Switching, cmp.Combined} {
+		s := r.Summary()
+		fmt.Printf("%-22s %8.1f %8.1f %8.1f %8.1f %11.3f  %v\n",
+			r.PolicyName, s.P50, s.P90, s.P99, s.MaxV, r.MeanLevel, serving.SortedModelShare(r))
+	}
+	p90b := stats.Percentile(cmp.Baseline.Latencies, 90)
+	p90s := stats.Percentile(cmp.Switching.Latencies, 90)
+	p90o := stats.Percentile(cmp.ScaleOut.Latencies, 90)
+	fmt.Printf("\np90 reduction vs baseline: switching %.1fx, scale-out %.2fx\n", p90b/p90s, p90b/p90o)
+}

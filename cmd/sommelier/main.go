@@ -1,0 +1,207 @@
+// Command sommelier is the interactive face of the query engine: it
+// builds or opens a model repository, indexes it, and answers queries in
+// the Figure 7 syntax.
+//
+// Seed a demo repository on disk and query it:
+//
+//	sommelier -repo ./models -seed-demo
+//	sommelier -repo ./models -query 'SELECT CORR "demo-base@1" WITHIN 85% ON memory <= 120% PICK most_similar'
+//
+// Or run an interactive prompt:
+//
+//	sommelier -repo ./models -i
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sommelier"
+	"sommelier/internal/dataset"
+	"sommelier/internal/hub"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+func main() {
+	var (
+		repoDir     = flag.String("repo", "", "repository directory (empty = in-memory)")
+		hubURL      = flag.String("hub", "", "mirror models from a remote sommhub before indexing")
+		queryStr    = flag.String("query", "", "one query to execute")
+		interactive = flag.Bool("i", false, "interactive query prompt")
+		seedDemo    = flag.Bool("seed-demo", false, "populate the repository with a demo model family")
+		listModels  = flag.Bool("list", false, "list repository models and exit")
+		segments    = flag.Bool("segments", false, "enable segment-level analysis during indexing (slower)")
+		loadIndex   = flag.String("load-index", "", "restore index state from a snapshot file instead of re-analyzing")
+		saveIndex   = flag.String("save-index", "", "write index state to a snapshot file after indexing")
+		seed        = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	store, err := openStore(*repoDir)
+	if err != nil {
+		fatal(err)
+	}
+	if *hubURL != "" {
+		client, err := hub.NewClient(*hubURL, nil)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := client.Mirror(store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mirrored %d models from %s\n", n, *hubURL)
+	}
+	eng, err := sommelier.New(store, sommelier.Options{
+		Seed:     *seed,
+		Segments: *segments,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *seedDemo {
+		if err := seedDemoModels(eng, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seeded %d demo models\n", store.Len())
+	}
+
+	if *loadIndex != "" {
+		f, err := os.Open(*loadIndex)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.LoadIndexes(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored index snapshot from %s\n", *loadIndex)
+	}
+	if err := eng.IndexAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d models\n", eng.IndexedLen())
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			fatal(err)
+		}
+		err = eng.SaveIndexes(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved index snapshot to %s\n", *saveIndex)
+	}
+
+	if *listModels {
+		for _, md := range store.List() {
+			fmt.Printf("%-28s task=%-16s series=%s\n", md.ID, md.Task, md.Series)
+		}
+		return
+	}
+
+	if *queryStr != "" {
+		if err := runQuery(eng, *queryStr); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *interactive {
+		prompt(eng)
+	}
+}
+
+func openStore(dir string) (*repo.Repository, error) {
+	if dir == "" {
+		return repo.NewInMemory(), nil
+	}
+	return repo.Open(dir)
+}
+
+// seedDemoModels publishes a base model, calibrated variants at several
+// equivalence levels, and one inflated large sibling.
+func seedDemoModels(eng *sommelier.Engine, seed uint64) error {
+	base, err := zoo.DenseResidualNet(zoo.Config{Name: "demo-base", Seed: seed, Width: 32, Depth: 2})
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Register(base); err != nil {
+		return err
+	}
+	probes := dataset.RandomImages(300, base.InputShape, seed+1)
+	for i, target := range []float64{0.02, 0.05, 0.1, 0.2} {
+		v, _, err := zoo.CalibratedVariant(base, fmt.Sprintf("demo-v%d", i), target, probes, seed+uint64(i)+2)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Register(v); err != nil {
+			return err
+		}
+	}
+	big, err := zoo.Inflate(base, "demo-large", 32, 96, seed+9)
+	if err != nil {
+		return err
+	}
+	_, err = eng.Register(big)
+	return err
+}
+
+func runQuery(eng *sommelier.Engine, q string) error {
+	results, err := eng.Query(q)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		fmt.Println("no models satisfy the query")
+		return nil
+	}
+	fmt.Printf("%-28s %-7s %-12s %-12s %-10s %s\n",
+		"MODEL", "LEVEL", "MEMORY(MB)", "GFLOPS", "LAT(MS)", "NOTES")
+	for _, r := range results {
+		notes := ""
+		if r.Synthesized {
+			notes = "synthesized from " + r.DonorID + " [" + r.Segment + "]"
+		} else if r.Derived {
+			notes = "level derived transitively"
+		}
+		v := r.Profile.Vector()
+		fmt.Printf("%-28s %-7.3f %-12.3f %-12.4f %-10.4f %s\n",
+			r.ID, r.Level, v[0], v[1], v[2], notes)
+	}
+	return nil
+}
+
+func prompt(eng *sommelier.Engine) {
+	fmt.Println(`enter queries (e.g. SELECT CORR "demo-base@1" WITHIN 85% PICK most_similar), or "quit"`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sommelier> ")
+		if !sc.Scan() {
+			return
+		}
+		linetxt := strings.TrimSpace(sc.Text())
+		switch linetxt {
+		case "":
+			continue
+		case "quit", "exit":
+			return
+		}
+		if err := runQuery(eng, linetxt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sommelier:", err)
+	os.Exit(1)
+}

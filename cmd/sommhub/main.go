@@ -1,0 +1,79 @@
+// Command sommhub serves a model repository over HTTP with the bare-bone
+// publish/load/list interface existing hubs expose (§2.1). Point the
+// sommelier CLI at it with -hub to index a remote repository.
+//
+//	sommhub -repo ./models -listen :8750 -seed-demo
+//	sommelier -hub http://localhost:8750 -query '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/hub"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+func main() {
+	var (
+		repoDir  = flag.String("repo", "", "repository directory (empty = in-memory)")
+		listen   = flag.String("listen", ":8750", "listen address")
+		seedDemo = flag.Bool("seed-demo", false, "populate with a demo model family")
+		seed     = flag.Uint64("seed", 7, "random seed for demo models")
+	)
+	flag.Parse()
+
+	var store *repo.Repository
+	var err error
+	if *repoDir == "" {
+		store = repo.NewInMemory()
+	} else if store, err = repo.Open(*repoDir); err != nil {
+		fatal(err)
+	}
+
+	if *seedDemo {
+		if err := seedModels(store, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seeded %d demo models\n", store.Len())
+	}
+
+	srv, err := hub.NewServer(store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sommhub serving %d models on %s\n", store.Len(), *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func seedModels(store *repo.Repository, seed uint64) error {
+	base, err := zoo.DenseResidualNet(zoo.Config{Name: "hub-base", Seed: seed, Width: 32, Depth: 2})
+	if err != nil {
+		return err
+	}
+	if _, err := store.Publish(base); err != nil {
+		return err
+	}
+	probes := dataset.RandomImages(300, base.InputShape, seed+1)
+	for i, target := range []float64{0.03, 0.08, 0.15} {
+		v, _, err := zoo.CalibratedVariant(base, fmt.Sprintf("hub-v%d", i), target, probes, seed+uint64(i)+2)
+		if err != nil {
+			return err
+		}
+		if _, err := store.Publish(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sommhub:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package sommelier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// TestEngineConcurrentQueriesDuringRegistration drives queries from many
+// goroutines while new models are being registered — the serving-system
+// usage pattern (§7.1's automatic model switching queries on the hot
+// path while the repository grows). Run with -race in CI.
+func TestEngineConcurrentQueriesDuringRegistration(t *testing.T) {
+	store := repo.NewInMemory()
+	eng, err := New(store, Options{Seed: 21, ValidationSize: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := zoo.DenseResidualNet(zoo.Config{Name: "conc", Seed: 1, Width: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refID, err := eng.Register(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Writer: register variants.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			v := zoo.Perturb(base, fmt.Sprintf("conc-v%d", i), 0.05, uint64(i+2))
+			if _, err := eng.Register(v); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: query, explain, top-K concurrently.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := eng.Query(`SELECT CORR "` + refID + `" WITHIN 10% PICK most_similar`); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := eng.TopEquivalents(refID, 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if eng.IndexedLen() != 7 {
+		t.Fatalf("IndexedLen = %d", eng.IndexedLen())
+	}
+}

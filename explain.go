@@ -1,0 +1,149 @@
+package sommelier
+
+import (
+	"fmt"
+	"strings"
+
+	"sommelier/internal/query"
+)
+
+// Explanation reports what each stage of the §5.4 filter pipeline did for
+// one query — the introspection behind the paper's framing of Sommelier
+// as an "explanation database for DNNs": not just which model was chosen,
+// but why the others were not.
+type Explanation struct {
+	Query     string
+	Reference string
+	// SemanticCandidates is the stage-1 output size (candidates at or
+	// above the threshold).
+	SemanticCandidates int
+	// SemanticRejected counts indexed models below the threshold.
+	SemanticRejected int
+	// ResourceRejected counts stage-1 survivors that failed a resource
+	// constraint, per constraint.
+	ResourceRejected map[string]int
+	// Returned is the final result count after selection and LIMIT.
+	Returned int
+	// Results carries the final results for convenience.
+	Results []Result
+}
+
+// String renders a human-readable explanation.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", e.Query)
+	fmt.Fprintf(&b, "reference: %s\n", e.Reference)
+	fmt.Fprintf(&b, "stage 1 (semantic): %d candidates pass, %d below threshold\n",
+		e.SemanticCandidates, e.SemanticRejected)
+	if len(e.ResourceRejected) == 0 {
+		b.WriteString("stage 2 (resource): no constraints\n")
+	} else {
+		b.WriteString("stage 2 (resource):\n")
+		keys := make([]string, 0, len(e.ResourceRejected))
+		for k := range e.ResourceRejected {
+			keys = append(keys, k)
+		}
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s rejected %d candidates\n", k, e.ResourceRejected[k])
+		}
+	}
+	fmt.Fprintf(&b, "stage 3 (selection): %d returned\n", e.Returned)
+	return b.String()
+}
+
+// Explain runs the query while recording per-stage filtering decisions.
+// It returns the same results Query would, plus the explanation.
+func (e *Engine) Explain(q string) (*Explanation, error) {
+	ast, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	refID := ast.Ref
+	if refID == "" {
+		id, ok := e.defaultRefs[ast.Task]
+		if !ok {
+			return nil, fmt.Errorf("sommelier: no default reference for task %q", ast.Task)
+		}
+		refID = id
+	}
+	if !e.sem.Contains(refID) {
+		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
+	}
+	refProf, _ := e.res.Profile(refID)
+
+	exp := &Explanation{
+		Query:            ast.String(),
+		Reference:        refID,
+		ResourceRejected: make(map[string]int),
+	}
+	// Seed every constraint so zero-rejection constraints still appear
+	// in the report (distinct from "no constraints at all").
+	for _, con := range ast.Constraints {
+		exp.ResourceRejected[con.String()] = 0
+	}
+
+	all, err := e.sem.Lookup(refID, 0)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := e.sem.Lookup(refID, ast.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	exp.SemanticCandidates = len(cands)
+	exp.SemanticRejected = len(all) - len(cands)
+
+	setting, reprofile, err := execSetting(ast.Exec)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, c := range cands {
+		pid := candProfileID(c)
+		prof, ok := e.res.Profile(pid)
+		if reprofile {
+			m, err := e.store.Load(pid)
+			if err != nil {
+				return nil, err
+			}
+			if prof, err = e.profiler.MeasureWith(m, setting); err != nil {
+				return nil, err
+			}
+			ok = true
+		}
+		if !ok {
+			continue
+		}
+		rejected := false
+		for _, con := range ast.Constraints {
+			if !exactlySatisfies([]query.Constraint{con}, prof, refProf) {
+				exp.ResourceRejected[con.String()]++
+				rejected = true
+			}
+		}
+		if rejected {
+			continue
+		}
+		results = append(results, Result{
+			ID: pid, Level: c.Level,
+			Synthesized: c.Kind.String() == "synthesized",
+			DonorID:     c.DonorID, Segment: c.Segment,
+			Derived: c.Derived, Profile: prof,
+		})
+	}
+	sortResults(results, ast.Pick)
+	if ast.Limit > 0 && len(results) > ast.Limit {
+		results = results[:ast.Limit]
+	}
+	exp.Returned = len(results)
+	exp.Results = results
+	return exp, nil
+}

@@ -1,0 +1,89 @@
+package sommelier
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainStages(t *testing.T) {
+	eng, refID, _ := newEngineWithLadder(t, false)
+	exp, err := eng.Explain(`SELECT CORR "` + refID + `" WITHIN 85% ON memory <= 120% PICK most_similar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Reference != refID {
+		t.Fatalf("reference = %q", exp.Reference)
+	}
+	// 4 indexed candidates total: some pass the 85% threshold, the
+	// distant variant does not.
+	if exp.SemanticCandidates+exp.SemanticRejected != 4 {
+		t.Fatalf("semantic accounting wrong: %d + %d", exp.SemanticCandidates, exp.SemanticRejected)
+	}
+	if exp.SemanticRejected == 0 {
+		t.Fatal("the distant variant should fail the threshold")
+	}
+	// The inflated big model should be rejected by the memory budget —
+	// if it survived the semantic stage.
+	total := 0
+	for _, n := range exp.ResourceRejected {
+		total += n
+	}
+	if exp.Returned != len(exp.Results) {
+		t.Fatalf("returned count mismatch: %d vs %d", exp.Returned, len(exp.Results))
+	}
+	// Results must agree with the plain Query path exactly.
+	direct, err := eng.Query(`SELECT CORR "` + refID + `" WITHIN 85% ON memory <= 120% PICK most_similar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(exp.Results) {
+		t.Fatalf("Explain results diverge from Query: %d vs %d", len(exp.Results), len(direct))
+	}
+	for i := range direct {
+		if direct[i].ID != exp.Results[i].ID {
+			t.Fatalf("result %d: %q vs %q", i, direct[i].ID, exp.Results[i].ID)
+		}
+	}
+	s := exp.String()
+	for _, want := range []string{"stage 1", "stage 2", "stage 3", refID} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explanation missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainResourceRejections(t *testing.T) {
+	eng, refID, _ := newEngineWithLadder(t, false)
+	// A tiny memory budget rejects everything.
+	exp, err := eng.Explain(`SELECT CORR "` + refID + `" WITHIN 10% ON memory <= 1% PICK most_similar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Returned != 0 {
+		t.Fatalf("returned %d under impossible budget", exp.Returned)
+	}
+	rejected := 0
+	for _, n := range exp.ResourceRejected {
+		rejected += n
+	}
+	if rejected != exp.SemanticCandidates {
+		t.Fatalf("every semantic survivor should be resource-rejected: %d vs %d",
+			rejected, exp.SemanticCandidates)
+	}
+	if !strings.Contains(exp.String(), "rejected") {
+		t.Fatal("explanation should list rejections")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	eng, _, _ := newEngineWithLadder(t, false)
+	if _, err := eng.Explain(`garbage`); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := eng.Explain(`SELECT CORR ghost@1`); err == nil {
+		t.Fatal("expected unknown-reference error")
+	}
+	if _, err := eng.Explain(`SELECT TASK nosuch`); err == nil {
+		t.Fatal("expected no-default error")
+	}
+}

@@ -1,0 +1,280 @@
+package equiv
+
+import (
+	"testing"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+// buildCNN returns a small convolutional classifier.
+func buildCNN(t testing.TB, name string, seed uint64, channels int) *graph.Model {
+	t.Helper()
+	b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{3, 8, 8}, tensor.NewRNG(seed))
+	b.Conv(channels, 3, 1, 1)
+	b.ReLU()
+	b.MaxPool(2, 2)
+	b.Conv(channels*2, 3, 1, 1)
+	b.ReLU()
+	b.GlobalAvgPool()
+	b.Dense(5)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckWholeConvModels(t *testing.T) {
+	a := buildCNN(t, "cnn-a", 1, 4)
+	twin := a.Clone()
+	twin.Name = "cnn-twin"
+	val := &dataset.Dataset{
+		Name:   "conv-val",
+		Inputs: dataset.RandomImages(60, a.InputShape, 2),
+	}
+	res, err := CheckWhole(a, twin, val, Options{Epsilon: 0.05, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.EmpiricalDiff != 0 {
+		t.Fatalf("identical CNNs not equivalent: %+v", res)
+	}
+	// The generalization bound must handle Conv weight matrices too.
+	gb, err := GeneralizationBound(a, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb <= 0 || gb > 1 {
+		t.Fatalf("conv generalization bound = %g", gb)
+	}
+}
+
+func TestCheckWholeConvDifferentChannels(t *testing.T) {
+	a := buildCNN(t, "cnn-a", 1, 4)
+	b := buildCNN(t, "cnn-b", 2, 8)
+	val := &dataset.Dataset{
+		Name:   "conv-val",
+		Inputs: dataset.RandomImages(40, a.InputShape, 3),
+	}
+	// Same IO contract despite different internals: compatible, scored
+	// by disagreement.
+	res, err := CheckWhole(a, b, val, Options{Epsilon: 0.05, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible {
+		t.Fatalf("same-IO CNNs should be comparable: %+v", res)
+	}
+	if res.EmpiricalDiff <= 0 {
+		t.Fatal("random CNNs should disagree somewhere")
+	}
+}
+
+func TestCommonSegmentsConvTrunk(t *testing.T) {
+	a := buildCNN(t, "cnn-a", 1, 4)
+	// A structural twin with perturbed second conv: the first conv
+	// block must match as a segment.
+	b := a.Clone()
+	b.Name = "cnn-b"
+	w := b.Layer("Conv2D_4").Param("W")
+	for i := range w.Data() {
+		w.Data()[i] += 0.05
+	}
+	pairs, err := CommonSegments(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("conv trunk not matched")
+	}
+	// The identical prefix should yield a near-zero propagated bound...
+	var prefix *SegmentPair
+	for i := range pairs {
+		for _, name := range pairs[i].A.Layers {
+			if name == "Conv2D_1" {
+				prefix = &pairs[i]
+			}
+		}
+	}
+	if prefix == nil {
+		t.Fatalf("no segment containing the first conv: %+v", pairs)
+	}
+	if contains(prefix.A.Layers, "Conv2D_4") {
+		// The perturbed conv sits inside the same chain, so the bound
+		// must be positive.
+		bound, err := PropagateBound(*prefix, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound <= 0 {
+			t.Fatalf("perturbed conv chain bound = %g", bound)
+		}
+		return
+	}
+	bound, err := PropagateBound(*prefix, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > 1e-9 {
+		t.Fatalf("identical conv prefix bound = %g", bound)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPropagateBoundConvSoundness(t *testing.T) {
+	// The propagated bound must dominate actual activation differences
+	// for conv chains, exactly as for dense chains.
+	a := buildCNN(t, "cnn-a", 3, 4)
+	b := a.Clone()
+	b.Name = "cnn-b"
+	for _, lname := range []string{"Conv2D_1", "Conv2D_4"} {
+		w := b.Layer(lname).Param("W")
+		rng := tensor.NewRNG(9)
+		for i, v := range w.Data() {
+			w.Data()[i] = v + 0.03*rng.NormFloat64()
+		}
+	}
+	pairs, err := CommonSegments(a, b, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v (%d pairs)", err, len(pairs))
+	}
+	execA, err := nn.NewExecutor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execB, err := nn.NewExecutor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range pairs {
+		inNorm, err := SegmentInputNorm(pair.A, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := PropagateBound(pair, 0, inNorm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(5)
+		for i := 0; i < 6; i++ {
+			x := tensor.New(3, 8, 8)
+			rng.FillNormal(x, 0, 1)
+			actsA, err := execA.ForwardCapture(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actsB, err := execB.ForwardCapture(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := pair.A.Last()
+			actual := tensor.L2Distance(actsA[last], actsB[last])
+			if actual > bound*1.001 {
+				t.Fatalf("segment %v: bound %g < actual %g", pair.A.Layers, bound, actual)
+			}
+		}
+	}
+}
+
+func TestBatchNormSegmentPropagation(t *testing.T) {
+	// BatchNorm inside a chain: differing Gamma parameters must yield a
+	// positive, sound bound.
+	build := func(name string, gammaShift float64) *graph.Model {
+		b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{6}, tensor.NewRNG(11))
+		b.Dense(8)
+		b.BatchNorm()
+		b.ReLU()
+		b.Dense(3)
+		b.Softmax()
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gammaShift != 0 {
+			g := m.Layer("BatchNorm_2").Param("Gamma")
+			for i := range g.Data() {
+				g.Data()[i] += gammaShift
+			}
+		}
+		return m
+	}
+	a := build("bn-a", 0)
+	b := build("bn-b", 0.2)
+	pairs, err := CommonSegments(a, b, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	bound, err := PropagateBound(pairs[0], 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatalf("gamma shift should produce positive bound, got %g", bound)
+	}
+	execA, err := nn.NewExecutor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execB, err := nn.NewExecutor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(13)
+	last := pairs[0].A.Last()
+	for i := 0; i < 10; i++ {
+		x := tensor.New(6)
+		rng.FillNormal(x, 0, 1)
+		actsA, _ := execA.ForwardCapture(x)
+		actsB, _ := execB.ForwardCapture(x)
+		if d := tensor.L2Distance(actsA[last], actsB[last]); d > bound*1.001 {
+			t.Fatalf("batchnorm bound %g < actual %g", bound, d)
+		}
+	}
+}
+
+func TestLayerNormSegmentPropagation(t *testing.T) {
+	build := func(name string, shift float64) *graph.Model {
+		b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{6}, tensor.NewRNG(17))
+		b.Dense(8)
+		b.LayerNorm()
+		b.Tanh()
+		b.Dense(3)
+		b.Softmax()
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shift != 0 {
+			w := m.Layer("Dense_1").Param("W")
+			for i := range w.Data() {
+				w.Data()[i] += shift
+			}
+		}
+		return m
+	}
+	a := build("ln-a", 0)
+	b := build("ln-b", 0.05)
+	pairs, err := CommonSegments(a, b, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	bound, err := PropagateBound(pairs[0], 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatal("layernorm chain with differing weights should bound positive")
+	}
+}

@@ -1,0 +1,169 @@
+package equiv
+
+import (
+	"testing"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Tests for the regression-model and option-default paths.
+
+func regressionNet(t testing.TB, name string, seed uint64, out int) *graph.Model {
+	t.Helper()
+	b := graph.NewBuilder(name, graph.TaskRegression, tensor.Shape{6}, tensor.NewRNG(seed))
+	b.Dense(10)
+	b.Tanh()
+	b.Dense(out)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCheckWholeRegressionModels(t *testing.T) {
+	a := regressionNet(t, "reg-a", 1, 4)
+	bm := regressionNet(t, "reg-b", 2, 4)
+	val := &dataset.Dataset{
+		Name:   "reg-val",
+		Inputs: dataset.RandomImages(40, a.InputShape, 3),
+	}
+	res, err := CheckWhole(a, bm, val, Options{Epsilon: 0.5, Bound: BoundOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible {
+		t.Fatalf("same-shape regression models incompatible: %+v", res)
+	}
+	// Regression pairs use mean output distance; random nets differ.
+	if res.EmpiricalDiff <= 0 {
+		t.Fatal("regression QoR difference should be positive")
+	}
+	// The regression output-norm estimate probes the model (no Softmax
+	// cap), exercising outputNormEstimate's main path.
+	gb, err := GeneralizationBound(a, 100, 0) // gamma=0 → default 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb <= 0 {
+		t.Fatalf("regression generalization bound = %g", gb)
+	}
+}
+
+func TestGeneralizationBoundNoLinearLayers(t *testing.T) {
+	b := graph.NewBuilder("nolin", graph.TaskRegression, tensor.Shape{4}, nil)
+	b.ReLU()
+	b.Tanh()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := GeneralizationBound(m, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb != 0 {
+		t.Fatalf("model without learned capacity should bound 0, got %g", gb)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.gamma() != 1 {
+		t.Fatalf("default gamma = %g", o.gamma())
+	}
+	if o.probes() != 16 {
+		t.Fatalf("default probes = %d", o.probes())
+	}
+	o.Gamma, o.ProbeCount = 2, 5
+	if o.gamma() != 2 || o.probes() != 5 {
+		t.Fatal("explicit options ignored")
+	}
+}
+
+func TestPropagateBoundErrorPaths(t *testing.T) {
+	a := regressionNet(t, "pa", 1, 4)
+	bm := regressionNet(t, "pb", 2, 4)
+	// Length mismatch.
+	bad := SegmentPair{
+		A: Segment{Model: a, Layers: []string{"Dense_1", "Tanh_2"}},
+		B: Segment{Model: bm, Layers: []string{"Dense_1"}},
+	}
+	if _, err := PropagateBound(bad, 0, 1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	// Missing layer.
+	ghost := SegmentPair{
+		A: Segment{Model: a, Layers: []string{"ghost"}},
+		B: Segment{Model: bm, Layers: []string{"Dense_1"}},
+	}
+	if _, err := PropagateBound(ghost, 0, 1); err == nil {
+		t.Fatal("expected missing-layer error")
+	}
+	// Op mismatch.
+	mixed := SegmentPair{
+		A: Segment{Model: a, Layers: []string{"Dense_1"}},
+		B: Segment{Model: bm, Layers: []string{"Tanh_2"}},
+	}
+	if _, err := PropagateBound(mixed, 0, 1); err == nil {
+		t.Fatal("expected op-mismatch error")
+	}
+	// Zero input norm defaults to 1 rather than dividing by zero.
+	ok := SegmentPair{
+		A: Segment{Model: a, Layers: []string{"Dense_1"}},
+		B: Segment{Model: bm, Layers: []string{"Dense_1"}},
+	}
+	if _, err := PropagateBound(ok, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplacementResultLevel(t *testing.T) {
+	if (ReplacementResult{}).Level() != 0 {
+		t.Fatal("empty result level should be 0")
+	}
+	r := ReplacementResult{Kept: make([]SegmentPair, 1), QoRDiff: 0.3}
+	if r.Level() != 0.7 {
+		t.Fatalf("level = %g", r.Level())
+	}
+	r.QoRDiff = 2
+	if r.Level() != 0 {
+		t.Fatalf("overflowed level = %g", r.Level())
+	}
+}
+
+func TestAssessReplacementRegressionQoR(t *testing.T) {
+	// Regression models exercise the relative-distance branch of the
+	// replacement QoR instead of the argmax branch.
+	a := regressionNet(t, "ra", 5, 4)
+	twin := a.Clone()
+	twin.Name = "ra-twin"
+	w := twin.Layer("Dense_1").Param("W")
+	for i := range w.Data() {
+		w.Data()[i] += 0.02
+	}
+	pairs, err := CommonSegments(a, twin, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	res, err := AssessReplacement(a, pairs, Options{Epsilon: 0.9, Seed: 3, ProbeCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoRDiff < 0 || res.QoRDiff > 1 {
+		t.Fatalf("regression QoR diff out of range: %g", res.QoRDiff)
+	}
+}
+
+func TestWholeResultScoreIncompatible(t *testing.T) {
+	r := WholeResult{Compatible: false}
+	if r.Score() != 0 {
+		t.Fatal("incompatible score must be 0")
+	}
+	r = WholeResult{Compatible: true, BoundedDiff: 1.4}
+	if r.Score() != 0 {
+		t.Fatal("score floors at 0")
+	}
+}

@@ -1,0 +1,243 @@
+package equiv
+
+import (
+	"math"
+	"testing"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+// buildClassifier returns a small Dense classifier with the given seed.
+func buildClassifier(t testing.TB, name string, seed uint64, in, hidden, classes int) *graph.Model {
+	t.Helper()
+	b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{in}, tensor.NewRNG(seed))
+	b.Dense(hidden)
+	b.ReLU()
+	b.Dense(hidden)
+	b.ReLU()
+	b.Dense(classes)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = name
+	return m
+}
+
+// perturb returns a clone of m with every weight nudged by Gaussian noise
+// of relative magnitude frac.
+func perturb(t testing.TB, m *graph.Model, frac float64, seed uint64) *graph.Model {
+	t.Helper()
+	c := m.Clone()
+	c.Name = m.Name + "-perturbed"
+	rng := tensor.NewRNG(seed)
+	for _, l := range c.Layers {
+		for _, p := range l.Params {
+			for i, v := range p.Data() {
+				p.Data()[i] = v + frac*rng.NormFloat64()*math.Abs(v)
+			}
+		}
+	}
+	return c
+}
+
+func valSet(t testing.TB, m *graph.Model, n int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	exec, err := nn.NewExecutor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.TeacherLabeled("val", exec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIOCompatibleShapes(t *testing.T) {
+	a := buildClassifier(t, "a", 1, 8, 16, 4)
+	b := buildClassifier(t, "b", 2, 8, 32, 4)
+	if ok, reason := IOCompatible(a, b); !ok {
+		t.Fatalf("same-shape models incompatible: %s", reason)
+	}
+	c := buildClassifier(t, "c", 3, 9, 16, 4)
+	if ok, _ := IOCompatible(a, c); ok {
+		t.Fatal("different input shapes should be incompatible")
+	}
+	d := buildClassifier(t, "d", 4, 8, 16, 5)
+	if ok, _ := IOCompatible(a, d); ok {
+		t.Fatal("different output shapes should be incompatible")
+	}
+}
+
+func TestIOCompatiblePreprocessorOverridesShape(t *testing.T) {
+	a := buildClassifier(t, "a", 1, 8, 16, 4)
+	c := buildClassifier(t, "c", 3, 9, 16, 4)
+	a.Preprocessor, c.Preprocessor = "resize224", "resize224"
+	if ok, reason := IOCompatible(a, c); !ok {
+		t.Fatalf("shared preprocessor should bypass shape check: %s", reason)
+	}
+	c.Preprocessor = "resize96"
+	if ok, _ := IOCompatible(a, c); ok {
+		t.Fatal("different preprocessors should be incompatible")
+	}
+}
+
+func TestIOCompatibleSyntaxCheck(t *testing.T) {
+	a := buildClassifier(t, "a", 1, 8, 16, 3)
+	b := buildClassifier(t, "b", 2, 8, 16, 3)
+	a.OutputLabels = []string{"cat", "dog", "fox"}
+	b.OutputLabels = []string{"cat", "dog", "fox"}
+	if ok, _ := IOCompatible(a, b); !ok {
+		t.Fatal("matching syntax should be compatible")
+	}
+	b.OutputLabels = []string{"cat", "dog", "owl"}
+	if ok, _ := IOCompatible(a, b); ok {
+		t.Fatal("different syntax labels should be incompatible")
+	}
+}
+
+func TestIOCompatibleTaskKind(t *testing.T) {
+	a := buildClassifier(t, "a", 1, 8, 16, 4)
+	b := buildClassifier(t, "b", 2, 8, 16, 4)
+	b.Task = graph.TaskRegression
+	if ok, _ := IOCompatible(a, b); ok {
+		t.Fatal("different task kinds should be incompatible")
+	}
+}
+
+func TestCheckWholeSelfEquivalence(t *testing.T) {
+	m := buildClassifier(t, "self", 5, 8, 16, 4)
+	val := valSet(t, m, 200, 7)
+	res, err := CheckWhole(m, m.Clone(), val, Options{Epsilon: 0.05, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible || res.EmpiricalDiff != 0 || !res.Equivalent {
+		t.Fatalf("self-check failed: %+v", res)
+	}
+	if res.Score() != 1 {
+		t.Fatalf("self score = %g", res.Score())
+	}
+}
+
+func TestCheckWholePerturbationOrdering(t *testing.T) {
+	m := buildClassifier(t, "base", 6, 10, 24, 4)
+	val := valSet(t, m, 400, 9)
+	small := perturb(t, m, 0.02, 1)
+	large := perturb(t, m, 0.8, 2)
+	rs, err := CheckWhole(m, small, val, Options{Epsilon: 0.1, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := CheckWhole(m, large, val, Options{Epsilon: 0.1, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.EmpiricalDiff >= rl.EmpiricalDiff {
+		t.Fatalf("small perturbation (%g) should diverge less than large (%g)",
+			rs.EmpiricalDiff, rl.EmpiricalDiff)
+	}
+	if rs.Score() <= rl.Score() {
+		t.Fatalf("scores not ordered: %g vs %g", rs.Score(), rl.Score())
+	}
+}
+
+func TestCheckWholeIncompatibleScoresZero(t *testing.T) {
+	a := buildClassifier(t, "a", 1, 8, 16, 4)
+	c := buildClassifier(t, "c", 3, 9, 16, 4)
+	val := valSet(t, a, 50, 3)
+	res, err := CheckWhole(a, c, val, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compatible || res.Score() != 0 || res.Reason == "" {
+		t.Fatalf("incompatible pair mishandled: %+v", res)
+	}
+}
+
+func TestGeneralizationBoundShrinksWithN(t *testing.T) {
+	m := buildClassifier(t, "gb", 8, 10, 32, 5)
+	b100, err := GeneralizationBound(m, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1k, err := GeneralizationBound(m, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b10k, err := GeneralizationBound(m, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b100 > b1k && b1k > b10k) {
+		t.Fatalf("bound not shrinking with n: %g, %g, %g", b100, b1k, b10k)
+	}
+	// 1/sqrt(n) scaling: b100/b1k should be ~sqrt(10) unless capped.
+	if b100 < 1 {
+		ratio := b100 / b1k
+		if math.Abs(ratio-math.Sqrt(10)) > 0.5 {
+			t.Fatalf("bound scaling off: ratio %g, want ~%g", ratio, math.Sqrt(10))
+		}
+	}
+	if b10k < 0 || b10k > 1 {
+		t.Fatalf("bound out of range: %g", b10k)
+	}
+}
+
+func TestGeneralizationBoundGrowsWithDepth(t *testing.T) {
+	shallow := buildClassifier(t, "shallow", 9, 10, 16, 4)
+	bDeep := graph.NewBuilder("deep", graph.TaskClassification, tensor.Shape{10}, tensor.NewRNG(9))
+	for i := 0; i < 8; i++ {
+		bDeep.Dense(16)
+		bDeep.ReLU()
+	}
+	bDeep.Dense(4)
+	bDeep.Softmax()
+	deep, err := bDeep.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := GeneralizationBound(shallow, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := GeneralizationBound(deep, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd <= bs {
+		t.Fatalf("deeper model should have larger bound: %g vs %g", bd, bs)
+	}
+}
+
+func TestGeneralizationBoundInvalidN(t *testing.T) {
+	m := buildClassifier(t, "x", 1, 4, 8, 2)
+	if _, err := GeneralizationBound(m, 0, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+}
+
+func TestBoundOnIsMoreConservative(t *testing.T) {
+	m := buildClassifier(t, "cons", 11, 8, 16, 4)
+	cand := perturb(t, m, 0.05, 3)
+	val := valSet(t, m, 300, 5)
+	off, err := CheckWhole(m, cand, val, Options{Epsilon: 0.1, Bound: BoundOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := CheckWhole(m, cand, val, Options{Epsilon: 0.1, Bound: BoundOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.BoundedDiff <= off.BoundedDiff {
+		t.Fatalf("bound-on should be more conservative: %g vs %g", on.BoundedDiff, off.BoundedDiff)
+	}
+	if on.GeneralizationBound <= 0 {
+		t.Fatal("generalization bound missing")
+	}
+}

@@ -1,0 +1,208 @@
+package equiv
+
+import (
+	"fmt"
+	"math"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// PropagateBound computes the worst-case L2 difference between the
+// outputs of two structurally identical segments when segment B's weights
+// stand in for segment A's, following the inductive layer-wise analysis
+// of §4.2.
+//
+// State per layer i: Δᵢ, an upper bound on the output difference, and Xᵢ,
+// an upper bound on the activation norm. The base case starts from the
+// segment input (inputDiff, inputNorm); each operator class transforms
+// the state:
+//
+//   - linear:      Δ' ≤ σmax(W)·Δ + σmax(ΔW)·X ;  X' = σmax(W)·X + ‖b‖
+//   - activations: |act(x)| ≤ |x| ⇒ Δ' = Δ, X' = X (tanh/sigmoid/softmax
+//     additionally cap X' by the co-domain size)
+//   - pooling:     non-expansive in L2 ⇒ Δ' ≤ Δ, X' ≤ X
+//   - normalize:   Δ' = Δ / X (the paper's ‖ΔX‖/‖X‖ scaling), X' set to
+//     the normalized vector's norm bound
+//   - structural:  pass-through
+//
+// Multi-source combination layers never appear inside a chain (chains
+// break at fan-in), so they are rejected here.
+func PropagateBound(pair SegmentPair, inputDiff, inputNorm float64) (float64, error) {
+	if pair.A.Len() != pair.B.Len() {
+		return 0, fmt.Errorf("equiv: segment lengths differ: %d vs %d", pair.A.Len(), pair.B.Len())
+	}
+	if inputNorm <= 0 {
+		inputNorm = 1
+	}
+	shapesA, err := pair.A.Model.ShapeOf()
+	if err != nil {
+		return 0, err
+	}
+	diff, norm := inputDiff, inputNorm
+	for i := range pair.A.Layers {
+		la := pair.A.Model.Layer(pair.A.Layers[i])
+		lb := pair.B.Model.Layer(pair.B.Layers[i])
+		if la == nil || lb == nil {
+			return 0, fmt.Errorf("equiv: segment references missing layer")
+		}
+		if la.Op != lb.Op {
+			return 0, fmt.Errorf("equiv: segment layer %d ops differ: %s vs %s", i, la.Op, lb.Op)
+		}
+		diff, norm, err = propagateLayer(la, lb, shapesA[la.Name], diff, norm)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return diff, nil
+}
+
+func propagateLayer(la, lb *graph.Layer, outShape tensor.Shape, diff, norm float64) (float64, float64, error) {
+	switch la.Op {
+	case graph.OpDense, graph.OpConv2D, graph.OpEmbedding:
+		wa, wb := la.Param("W"), lb.Param("W")
+		if wa == nil || wb == nil {
+			return 0, 0, fmt.Errorf("equiv: linear layer %q missing weights", la.Name)
+		}
+		if !wa.Shape().Equal(wb.Shape()) {
+			return 0, 0, fmt.Errorf("equiv: weight shapes differ at %q: %v vs %v",
+				la.Name, wa.Shape(), wb.Shape())
+		}
+		sigmaW := tensor.SpectralNorm(wa, 30)
+		sigmaDW := tensor.SpectralNorm(wa.Sub(wb), 30)
+		newDiff := sigmaW*diff + sigmaDW*norm
+		newNorm := sigmaW * norm
+		if ba := la.Param("B"); ba != nil {
+			newNorm += ba.L2Norm()
+			if bb := lb.Param("B"); bb != nil {
+				newDiff += ba.Sub(bb).L2Norm()
+			}
+		}
+		return newDiff, newNorm, nil
+
+	case graph.OpReLU, graph.OpLeakyReLU, graph.OpMaxPool, graph.OpMeanPool,
+		graph.OpGlobalAvgPool:
+		// Non-expansive: |act(x)| ≤ |x| and pooling shrinks L2 mass.
+		return diff, norm, nil
+
+	case graph.OpTanh, graph.OpSigmoid:
+		// 1-Lipschitz (tanh) or 1/4-Lipschitz (sigmoid); output norm is
+		// capped by the co-domain: every element in (-1,1) / (0,1).
+		cap := math.Sqrt(float64(outShape.NumElements()))
+		lip := 1.0
+		if la.Op == graph.OpSigmoid {
+			lip = 0.25
+		}
+		return lip * diff, math.Min(norm, cap), nil
+
+	case graph.OpSoftmax:
+		// Softmax is 1-Lipschitz in L2 and outputs a probability
+		// vector, so the norm is at most 1.
+		return diff, math.Min(norm, 1), nil
+
+	case graph.OpBatchNorm:
+		// Affine per-channel scaling: both the difference and the norm
+		// scale by the largest |gamma| / sqrt(var + eps).
+		gamma, variance := la.Param("Gamma"), la.Param("Var")
+		scale := 1.0
+		if gamma != nil && variance != nil {
+			eps := la.Attrs.Eps
+			if eps == 0 {
+				eps = 1e-5
+			}
+			for i, g := range gamma.Data() {
+				s := math.Abs(g) / math.Sqrt(variance.Data()[i]+eps)
+				if s > scale {
+					scale = s
+				}
+			}
+		}
+		// Weight differences between the two BatchNorm variants add a
+		// secondary error term proportional to the norm.
+		var paramDiff float64
+		for _, name := range []string{"Gamma", "Beta", "Mean", "Var"} {
+			pa, pb := la.Param(name), lb.Param(name)
+			if pa != nil && pb != nil {
+				paramDiff += pa.Sub(pb).L2Norm()
+			}
+		}
+		return scale*diff + paramDiff, scale * norm, nil
+
+	case graph.OpLayerNorm:
+		// The paper's normalization rule: the output difference is the
+		// input difference scaled by 1/‖X‖; the normalized vector has
+		// norm √n (times any affine gamma).
+		n := math.Sqrt(float64(outShape.NumElements()))
+		newDiff := diff
+		if norm > 0 {
+			newDiff = diff / norm * n
+		}
+		newNorm := n
+		if gamma := la.Param("Gamma"); gamma != nil {
+			g := gamma.Data()
+			maxG := 0.0
+			for _, v := range g {
+				if a := math.Abs(v); a > maxG {
+					maxG = a
+				}
+			}
+			newDiff *= maxG
+			newNorm *= maxG
+			if gb := lb.Param("Gamma"); gb != nil {
+				newDiff += gamma.Sub(gb).L2Norm()
+			}
+		}
+		return newDiff, newNorm, nil
+
+	case graph.OpFlatten, graph.OpIdentity, graph.OpDropout, graph.OpInput:
+		return diff, norm, nil
+
+	case graph.OpAdd, graph.OpMul, graph.OpConcat:
+		return 0, 0, fmt.Errorf("equiv: multi-source op %s cannot appear inside a segment chain", la.Op)
+
+	default:
+		return 0, 0, fmt.Errorf("equiv: no propagation rule for op %s", la.Op)
+	}
+}
+
+// SegmentInputNorm estimates the activation norm arriving at a segment by
+// probing the model with random inputs and measuring the activation
+// feeding the segment's first layer. This grounds the X₀ of the
+// layer-wise induction.
+func SegmentInputNorm(seg Segment, probes int, seed uint64) (float64, error) {
+	if probes <= 0 {
+		probes = 8
+	}
+	exec, err := newExecutor(seg.Model)
+	if err != nil {
+		return 0, err
+	}
+	first := seg.Model.Layer(seg.First())
+	if first == nil {
+		return 0, fmt.Errorf("equiv: segment first layer %q missing", seg.First())
+	}
+	rng := tensor.NewRNG(seed)
+	max := 0.0
+	for i := 0; i < probes; i++ {
+		x := tensor.New(seg.Model.InputShape...)
+		rng.FillNormal(x, 0, 1)
+		acts, err := exec.ForwardCapture(x)
+		if err != nil {
+			return 0, err
+		}
+		var inNorm float64
+		if len(first.Inputs) == 0 {
+			inNorm = x.L2Norm()
+		} else {
+			for _, name := range first.Inputs {
+				if a := acts[name]; a != nil {
+					inNorm += a.L2Norm()
+				}
+			}
+		}
+		if inNorm > max {
+			max = inNorm
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,216 @@
+package equiv
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+func newExecutor(m *graph.Model) (*nn.Executor, error) { return nn.NewExecutor(m) }
+
+// ReplacementResult reports the outcome of the segment-replacement
+// assessment of §4.2.
+type ReplacementResult struct {
+	// Kept are the segment pairs that survived step (iii) — replacing
+	// all of them keeps the QoR difference within epsilon.
+	Kept []SegmentPair
+	// Bounds are the propagated output-difference bounds for each kept
+	// pair, index-aligned with Kept.
+	Bounds []float64
+	// QoRDiff is the estimated quality degradation when every kept
+	// segment is replaced (fraction of changed predictions for
+	// classification, mean relative output distance otherwise).
+	QoRDiff float64
+	// Equivalent reports QoRDiff <= epsilon with at least one segment
+	// kept.
+	Equivalent bool
+}
+
+// Level converts the result into a functional-equivalence level for the
+// semantic index: 1 - QoRDiff when any segment survived, 0 otherwise.
+func (r ReplacementResult) Level() float64 {
+	if len(r.Kept) == 0 {
+		return 0
+	}
+	l := 1 - r.QoRDiff
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// AssessReplacement estimates the quality impact of replacing segments of
+// model M (the A side of every pair) with their structural twins from
+// another model (the B side), implementing steps (i)–(iii) of §4.2:
+//
+//	(i)   probe M with random inputs and record unperturbed outputs;
+//	(ii)  emulate replacing each segment by perturbing its output with
+//	      Gaussian noise scaled to the propagated difference bound — the
+//	      worst case for completely unknown error distributions;
+//	(iii) if the resulting QoR difference exceeds epsilon, drop segments
+//	      in order of increasing computational complexity and retry.
+func AssessReplacement(m *graph.Model, pairs []SegmentPair, opts Options) (ReplacementResult, error) {
+	if len(pairs) == 0 {
+		return ReplacementResult{}, nil
+	}
+	for i, p := range pairs {
+		if p.A.Model != m {
+			return ReplacementResult{}, fmt.Errorf("equiv: pair %d A-side is not the assessed model", i)
+		}
+	}
+	exec, err := newExecutor(m)
+	if err != nil {
+		return ReplacementResult{}, err
+	}
+
+	// Propagated bound per segment (weights-only difference: the twin
+	// receives the same input, so the initial difference is zero).
+	bounds := make([]float64, len(pairs))
+	for i, p := range pairs {
+		inNorm, err := SegmentInputNorm(p.A, opts.probes(), opts.Seed+uint64(i))
+		if err != nil {
+			return ReplacementResult{}, err
+		}
+		b, err := PropagateBound(p, 0, inNorm)
+		if err != nil {
+			return ReplacementResult{}, err
+		}
+		bounds[i] = b
+	}
+
+	// Step (i): probe inputs and unperturbed outputs.
+	rng := tensor.NewRNG(opts.Seed + 0x9e37)
+	probes := make([]*tensor.Tensor, opts.probes())
+	baseline := make([]*tensor.Tensor, len(probes))
+	for i := range probes {
+		x := tensor.New(m.InputShape...)
+		rng.FillNormal(x, 0, 1)
+		probes[i] = x
+		out, err := exec.Forward(x)
+		if err != nil {
+			return ReplacementResult{}, err
+		}
+		baseline[i] = out
+	}
+
+	// Candidate order: step (iii) removes cheapest segments first, so
+	// iterate subsets from "all" downward dropping by ascending FLOPs.
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return pairs[idx[a]].A.FLOPs() < pairs[idx[b]].A.FLOPs()
+	})
+
+	active := append([]int(nil), idx...)
+	for {
+		qor, err := replacementQoR(exec, m, pairs, bounds, active, probes, baseline, rng)
+		if err != nil {
+			return ReplacementResult{}, err
+		}
+		if qor <= opts.Epsilon || len(active) == 0 {
+			res := ReplacementResult{QoRDiff: qor}
+			for _, i := range active {
+				res.Kept = append(res.Kept, pairs[i])
+				res.Bounds = append(res.Bounds, bounds[i])
+			}
+			res.Equivalent = len(res.Kept) > 0 && qor <= opts.Epsilon
+			return res, nil
+		}
+		active = active[1:] // drop the cheapest remaining segment
+	}
+}
+
+// replacementQoR executes step (ii) for one subset of segments.
+func replacementQoR(exec *nn.Executor, m *graph.Model, pairs []SegmentPair, bounds []float64,
+	active []int, probes, baseline []*tensor.Tensor, rng *tensor.RNG) (float64, error) {
+	if len(active) == 0 {
+		return 0, nil
+	}
+	classification := m.Task == graph.TaskClassification
+	var changed int
+	var relDist float64
+	for pi, x := range probes {
+		acts, err := exec.ForwardCapture(x)
+		if err != nil {
+			return 0, err
+		}
+		pinned := make(map[string]*tensor.Tensor, len(active))
+		for _, si := range active {
+			last := pairs[si].A.Last()
+			act := acts[last]
+			if act == nil {
+				return 0, fmt.Errorf("equiv: missing activation for %q", last)
+			}
+			noise := tensor.New(act.Shape()...)
+			rng.FillNormal(noise, 0, 1)
+			if n := noise.L2Norm(); n > 0 {
+				noise = noise.Scale(bounds[si] / n)
+			}
+			pinned[last] = act.Add(noise)
+		}
+		out, err := exec.ForwardFrom(x, pinned)
+		if err != nil {
+			return 0, err
+		}
+		if classification {
+			if out.ArgMax() != baseline[pi].ArgMax() {
+				changed++
+			}
+		} else {
+			d := tensor.L2Distance(out, baseline[pi])
+			if n := baseline[pi].L2Norm(); n > 0 {
+				d /= n
+			}
+			relDist += d
+		}
+	}
+	if classification {
+		return float64(changed) / float64(len(probes)), nil
+	}
+	qor := relDist / float64(len(probes))
+	if qor > 1 {
+		qor = 1
+	}
+	return qor, nil
+}
+
+// SynthesizeReplacement builds the "twin" model M′ of §4.2: model m with
+// segment pair.A's weights replaced by pair.B's. The structure is
+// unchanged; only parameters move. It is used to materialize synthesized
+// candidates the semantic index advertises.
+func SynthesizeReplacement(m *graph.Model, pair SegmentPair) (*graph.Model, error) {
+	if pair.A.Model != m {
+		return nil, fmt.Errorf("equiv: pair A-side is not the source model")
+	}
+	if pair.A.Len() != pair.B.Len() {
+		return nil, fmt.Errorf("equiv: segment lengths differ")
+	}
+	twin := m.Clone()
+	twin.Name = m.Name + "+seg:" + pair.B.Model.Name
+	for i, name := range pair.A.Layers {
+		dst := twin.Layer(name)
+		src := pair.B.Model.Layer(pair.B.Layers[i])
+		if dst == nil || src == nil {
+			return nil, fmt.Errorf("equiv: segment layer missing during synthesis")
+		}
+		if dst.Op != src.Op {
+			return nil, fmt.Errorf("equiv: ops differ at %q: %s vs %s", name, dst.Op, src.Op)
+		}
+		for pname, p := range src.Params {
+			d := dst.Param(pname)
+			if d == nil || !d.Shape().Equal(p.Shape()) {
+				return nil, fmt.Errorf("equiv: param %q incompatible at %q", pname, name)
+			}
+			dst.Params[pname] = p.Clone()
+		}
+	}
+	if err := twin.Validate(); err != nil {
+		return nil, fmt.Errorf("equiv: synthesized twin invalid: %w", err)
+	}
+	return twin, nil
+}

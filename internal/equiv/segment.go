@@ -1,0 +1,238 @@
+package equiv
+
+import (
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Segment is a consecutive chain of layers inside one model, in execution
+// order. Segments are the unit of partial equivalence (§4.2).
+type Segment struct {
+	Model  *graph.Model
+	Layers []string
+}
+
+// Len returns the number of layers in the segment.
+func (s Segment) Len() int { return len(s.Layers) }
+
+// First and Last return the boundary layer names.
+func (s Segment) First() string { return s.Layers[0] }
+func (s Segment) Last() string  { return s.Layers[len(s.Layers)-1] }
+
+// FLOPs returns the segment's computational complexity — the ordering key
+// for step (iii) of the replacement assessment, which drops segments in
+// order of increasing complexity.
+func (s Segment) FLOPs() int64 {
+	shapes, err := s.Model.ShapeOf()
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, name := range s.Layers {
+		l := s.Model.Layer(name)
+		if l == nil {
+			continue
+		}
+		// Cheap proxy: parameters dominate linear-layer cost; for
+		// parameterless ops count output elements.
+		if pc := l.ParamCount(); pc > 0 {
+			total += 2 * pc
+		} else {
+			total += int64(shapes[name].NumElements())
+		}
+	}
+	return total
+}
+
+// SegmentPair couples two structurally identical segments from different
+// models — candidates for interchange.
+type SegmentPair struct {
+	A, B Segment
+}
+
+// layerSignature describes a layer structurally: operator, attributes, and
+// output shape. Two layers with equal signatures are "structurally
+// identical" and may differ only in weights.
+type layerSignature string
+
+func signatureOf(l *graph.Layer, outShape tensor.Shape) layerSignature {
+	return layerSignature(fmt.Sprintf("%s|%+v|%v", l.Op, l.Attrs, outShape))
+}
+
+// ExtractChains decomposes the model DAG into its maximal operator
+// sequences — the recursive extraction of Figure 4. Walking the full
+// topological order and breaking chains at every fan-out or fan-in yields
+// the same set of sequences as extracting the top-level sequence and then
+// recursing into each parallel branch: every branch becomes its own chain.
+func ExtractChains(m *graph.Model) ([][]*graph.Layer, error) {
+	order, err := m.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	consumers := make(map[string]int, len(order))
+	for _, l := range order {
+		for _, in := range l.Inputs {
+			consumers[in]++
+		}
+	}
+	var chains [][]*graph.Layer
+	var current []*graph.Layer
+	flush := func() {
+		if len(current) > 0 {
+			chains = append(chains, current)
+			current = nil
+		}
+	}
+	prevName := ""
+	for _, l := range order {
+		// Multi-source combination layers are the fan-in points of
+		// Figure 4's decomposition: they form singleton chains so no
+		// operator sequence spans a merge.
+		if l.Op.Class() == graph.ClassMultiSource {
+			flush()
+			chains = append(chains, []*graph.Layer{l})
+			prevName = l.Name
+			continue
+		}
+		continues := len(current) > 0 &&
+			len(l.Inputs) == 1 &&
+			l.Inputs[0] == prevName &&
+			consumers[prevName] == 1
+		if !continues {
+			flush()
+		}
+		current = append(current, l)
+		prevName = l.Name
+	}
+	flush()
+	return chains, nil
+}
+
+// CommonSegments finds the longest common operator sequences between two
+// models (§4.2): for every pair of chains, the longest common contiguous
+// run of structurally identical layers, O(N²) per pair. Only runs of at
+// least minLen layers are reported; pass 0 for the default of 2.
+// Overlapping matches within a model are pruned greedily, longest first.
+func CommonSegments(a, b *graph.Model, minLen int) ([]SegmentPair, error) {
+	if minLen <= 0 {
+		minLen = 2
+	}
+	shapesA, err := a.ShapeOf()
+	if err != nil {
+		return nil, fmt.Errorf("equiv: %w", err)
+	}
+	shapesB, err := b.ShapeOf()
+	if err != nil {
+		return nil, fmt.Errorf("equiv: %w", err)
+	}
+	chainsA, err := ExtractChains(a)
+	if err != nil {
+		return nil, err
+	}
+	chainsB, err := ExtractChains(b)
+	if err != nil {
+		return nil, err
+	}
+
+	sigs := func(chain []*graph.Layer, shapes map[string]tensor.Shape) []layerSignature {
+		out := make([]layerSignature, len(chain))
+		for i, l := range chain {
+			out[i] = signatureOf(l, shapes[l.Name])
+		}
+		return out
+	}
+
+	type match struct {
+		pair SegmentPair
+		n    int
+	}
+	var matches []match
+	for _, ca := range chainsA {
+		sa := sigs(ca, shapesA)
+		for _, cb := range chainsB {
+			sb := sigs(cb, shapesB)
+			ai, bi, n := longestCommonRun(sa, sb)
+			if n < minLen {
+				continue
+			}
+			pa := make([]string, n)
+			pb := make([]string, n)
+			for k := 0; k < n; k++ {
+				pa[k] = ca[ai+k].Name
+				pb[k] = cb[bi+k].Name
+			}
+			matches = append(matches, match{
+				pair: SegmentPair{
+					A: Segment{Model: a, Layers: pa},
+					B: Segment{Model: b, Layers: pb},
+				},
+				n: n,
+			})
+		}
+	}
+
+	// Greedy longest-first selection of non-overlapping matches.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j].n > matches[j-1].n; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
+	usedA := make(map[string]bool)
+	usedB := make(map[string]bool)
+	var out []SegmentPair
+	for _, m := range matches {
+		overlap := false
+		for _, n := range m.pair.A.Layers {
+			if usedA[n] {
+				overlap = true
+				break
+			}
+		}
+		for _, n := range m.pair.B.Layers {
+			if usedB[n] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, n := range m.pair.A.Layers {
+			usedA[n] = true
+		}
+		for _, n := range m.pair.B.Layers {
+			usedB[n] = true
+		}
+		out = append(out, m.pair)
+	}
+	return out, nil
+}
+
+// longestCommonRun returns the start indices and length of the longest
+// common contiguous run between two signature sequences (classic O(N²)
+// dynamic program).
+func longestCommonRun(a, b []layerSignature) (ai, bi, n int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > n {
+					n = cur[j]
+					ai = i - n
+					bi = j - n
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return ai, bi, n
+}

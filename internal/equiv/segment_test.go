@@ -1,0 +1,375 @@
+package equiv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+// transferPair builds a base model and a transfer variant that shares the
+// base's first two Dense blocks verbatim but has a different head.
+func transferPair(t testing.TB, headUnits int, perturbFrac float64) (base, variant *graph.Model) {
+	t.Helper()
+	mk := func(name string, head int, seed uint64) *graph.Model {
+		b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{12}, tensor.NewRNG(seed))
+		b.Dense(24)
+		b.ReLU()
+		b.Dense(24)
+		b.ReLU()
+		b.Dense(head)
+		b.Softmax()
+		m, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base = mk("base", 5, 1)
+	variant = mk("variant", headUnits, 2)
+	// Copy the shared trunk weights from base into variant, optionally
+	// perturbing them to mimic fine-tuning.
+	rng := tensor.NewRNG(77)
+	for _, name := range []string{"Dense_1", "Dense_3"} {
+		src := base.Layer(name)
+		dst := variant.Layer(name)
+		for pname, p := range src.Params {
+			c := p.Clone()
+			if perturbFrac > 0 {
+				for i, v := range c.Data() {
+					c.Data()[i] = v + perturbFrac*rng.NormFloat64()*math.Abs(v)
+				}
+			}
+			dst.Params[pname] = c
+		}
+	}
+	return base, variant
+}
+
+func TestExtractChainsSequential(t *testing.T) {
+	b := graph.NewBuilder("seq", graph.TaskClassification, tensor.Shape{8}, tensor.NewRNG(1))
+	b.Dense(8)
+	b.ReLU()
+	b.Dense(4)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := ExtractChains(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 1 {
+		t.Fatalf("sequential model should be one chain, got %d", len(chains))
+	}
+	if len(chains[0]) != len(m.Layers) {
+		t.Fatalf("chain length %d vs %d layers", len(chains[0]), len(m.Layers))
+	}
+}
+
+func TestExtractChainsBreaksAtBranches(t *testing.T) {
+	b := graph.NewBuilder("res", graph.TaskClassification, tensor.Shape{8}, tensor.NewRNG(2))
+	b.Dense(8)
+	b.Residual(func(b *graph.Builder) {
+		b.Dense(8)
+		b.ReLU()
+	})
+	b.Dense(3)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := ExtractChains(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) < 3 {
+		t.Fatalf("residual model should split into >=3 chains, got %d", len(chains))
+	}
+	// Every layer appears exactly once across chains.
+	seen := make(map[string]int)
+	for _, c := range chains {
+		for _, l := range c {
+			seen[l.Name]++
+		}
+	}
+	for _, l := range m.Layers {
+		if seen[l.Name] != 1 {
+			t.Fatalf("layer %q appears %d times in chains", l.Name, seen[l.Name])
+		}
+	}
+}
+
+func TestLongestCommonRun(t *testing.T) {
+	a := []layerSignature{"x", "A", "B", "C", "y"}
+	b := []layerSignature{"A", "B", "C", "z"}
+	ai, bi, n := longestCommonRun(a, b)
+	if n != 3 || ai != 1 || bi != 0 {
+		t.Fatalf("LCR = (%d,%d,%d)", ai, bi, n)
+	}
+	_, _, n = longestCommonRun(a, []layerSignature{"q"})
+	if n != 0 {
+		t.Fatalf("no-match LCR = %d", n)
+	}
+	_, _, n = longestCommonRun(nil, b)
+	if n != 0 {
+		t.Fatalf("empty LCR = %d", n)
+	}
+}
+
+func TestCommonSegmentsTransferTrunk(t *testing.T) {
+	base, variant := transferPair(t, 7, 0)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("shared trunk not detected")
+	}
+	best := pairs[0]
+	// The shared trunk is input + Dense/ReLU x2 = at least 4 layers.
+	if best.A.Len() < 4 {
+		t.Fatalf("trunk segment too short: %d layers %v", best.A.Len(), best.A.Layers)
+	}
+	// Heads differ in width, so the head must not be in the segment.
+	for _, name := range best.A.Layers {
+		if name == "Dense_5" || name == "Softmax_6" {
+			t.Fatalf("head layer %q wrongly matched", name)
+		}
+	}
+}
+
+func TestCommonSegmentsDifferentArchitectures(t *testing.T) {
+	b1 := graph.NewBuilder("m1", graph.TaskClassification, tensor.Shape{8}, tensor.NewRNG(1))
+	b1.Dense(16)
+	b1.Tanh()
+	b1.Dense(3)
+	b1.Softmax()
+	m1, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := graph.NewBuilder("m2", graph.TaskClassification, tensor.Shape{8}, tensor.NewRNG(2))
+	b2.Dense(20)
+	b2.ReLU()
+	b2.Dense(3)
+	b2.Softmax()
+	m2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := CommonSegments(m1, m2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widths and activations differ; no >=3 layer structural match
+	// should exist beyond the input layer.
+	if len(pairs) != 0 {
+		t.Fatalf("unexpected segment match: %+v", pairs)
+	}
+}
+
+func TestPropagateBoundZeroForIdenticalWeights(t *testing.T) {
+	base, variant := transferPair(t, 7, 0)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v, %d pairs", err, len(pairs))
+	}
+	bound, err := PropagateBound(pairs[0], 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > 1e-9 {
+		t.Fatalf("identical weights should give ~0 bound, got %g", bound)
+	}
+}
+
+func TestPropagateBoundGrowsWithPerturbation(t *testing.T) {
+	_, v1 := transferPair(t, 7, 0.01)
+	base, v2 := transferPair(t, 7, 0.3)
+	p1, err := CommonSegments(base, v1, 2)
+	if err != nil || len(p1) == 0 {
+		t.Fatalf("setup small: %v", err)
+	}
+	p2, err := CommonSegments(base, v2, 2)
+	if err != nil || len(p2) == 0 {
+		t.Fatalf("setup large: %v", err)
+	}
+	b1, err := PropagateBound(p1[0], 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := PropagateBound(p2[0], 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 >= b2 {
+		t.Fatalf("bound should grow with perturbation: %g vs %g", b1, b2)
+	}
+	if b1 <= 0 {
+		t.Fatalf("perturbed weights should give positive bound, got %g", b1)
+	}
+}
+
+func TestPropagateBoundIsSound(t *testing.T) {
+	// The propagated bound must dominate the actual output difference
+	// observed when running both segments on the same inputs.
+	base, variant := transferPair(t, 7, 0.1)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	pair := pairs[0]
+	inNorm, err := SegmentInputNorm(pair.A, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := PropagateBound(pair, 0, inNorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	execA, err := nn.NewExecutor(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := SynthesizeReplacement(base, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execT, err := nn.NewExecutor(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	for i := 0; i < 12; i++ {
+		x := tensor.New(12)
+		rng.FillNormal(x, 0, 1)
+		actsA, err := execA.ForwardCapture(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actsT, err := execT.ForwardCapture(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := pair.A.Last()
+		actual := tensor.L2Distance(actsA[last], actsT[last])
+		if actual > bound*1.001 {
+			t.Fatalf("bound %g violated by actual segment difference %g", bound, actual)
+		}
+	}
+}
+
+func TestSynthesizeReplacementChangesOnlySegment(t *testing.T) {
+	base, variant := transferPair(t, 7, 0.2)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	twin, err := SynthesizeReplacement(base, pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSeg := make(map[string]bool)
+	for _, n := range pairs[0].A.Layers {
+		inSeg[n] = true
+	}
+	for _, l := range base.Layers {
+		tw := twin.Layer(l.Name)
+		for pname, p := range l.Params {
+			d := tensor.L2Distance(p, tw.Param(pname))
+			if inSeg[l.Name] {
+				continue // segment weights are expected to change
+			}
+			if d != 0 {
+				t.Fatalf("non-segment layer %q weights changed", l.Name)
+			}
+		}
+	}
+}
+
+func TestAssessReplacementIdenticalSegmentsEquivalent(t *testing.T) {
+	base, variant := transferPair(t, 7, 0)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	res, err := AssessReplacement(base, pairs, Options{Epsilon: 0.1, Seed: 9, ProbeCount: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || len(res.Kept) != len(pairs) {
+		t.Fatalf("identical segments should be fully replaceable: %+v", res)
+	}
+	if res.Level() <= 0.9 {
+		t.Fatalf("level = %g", res.Level())
+	}
+}
+
+func TestAssessReplacementDropsNoisySegments(t *testing.T) {
+	base, variant := transferPair(t, 7, 3.0) // massive fine-tuning noise
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	res, err := AssessReplacement(base, pairs, Options{Epsilon: 0.05, Seed: 9, ProbeCount: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) == len(pairs) && res.Equivalent {
+		t.Fatalf("heavily perturbed segments should not all survive: %+v", res)
+	}
+}
+
+func TestAssessReplacementRejectsForeignPairs(t *testing.T) {
+	base, variant := transferPair(t, 7, 0)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	if _, err := AssessReplacement(variant, pairs, Options{Epsilon: 0.1}); err == nil {
+		t.Fatal("expected error when A-side is not the assessed model")
+	}
+}
+
+func TestSegmentFLOPsOrdering(t *testing.T) {
+	base, variant := transferPair(t, 7, 0)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	if pairs[0].A.FLOPs() <= 0 {
+		t.Fatal("segment FLOPs should be positive")
+	}
+}
+
+// Property: the propagated bound is monotone in the input difference.
+func TestPropertyBoundMonotoneInInputDiff(t *testing.T) {
+	base, variant := transferPair(t, 7, 0.1)
+	pairs, err := CommonSegments(base, variant, 2)
+	if err != nil || len(pairs) == 0 {
+		t.Fatalf("setup: %v", err)
+	}
+	pair := pairs[0]
+	f := func(d1, d2 float64) bool {
+		d1, d2 = math.Abs(d1), math.Abs(d2)
+		if math.IsNaN(d1) || math.IsNaN(d2) || math.IsInf(d1, 0) || math.IsInf(d2, 0) {
+			return true
+		}
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		b1, err1 := PropagateBound(pair, d1, 4)
+		b2, err2 := PropagateBound(pair, d2, 4)
+		return err1 == nil && err2 == nil && b1 <= b2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

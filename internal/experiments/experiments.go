@@ -1,0 +1,46 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§7). Each driver synthesizes its workload from
+// internal/zoo, runs the relevant subsystems, and returns a structured
+// result that renders the same rows/series the paper reports. The
+// drivers are shared by cmd/sommbench and the root bench suite.
+//
+// Absolute numbers are not expected to match the paper (the substrate is
+// a simulator; see DESIGN.md); the assertions in this package's tests
+// pin the *shape*: who wins, by roughly what factor, and where the
+// crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/tensor"
+)
+
+// Report is a printable experiment result.
+type Report struct {
+	ID    string // e.g. "fig9a", "table3"
+	Title string
+	Lines []string
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func line(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// probeDataset builds an unlabeled probe dataset of n inputs.
+func probeDataset(shape tensor.Shape, n int, seed uint64) *dataset.Dataset {
+	return &dataset.Dataset{
+		Name:   "probe",
+		Inputs: dataset.RandomImages(n, shape, seed),
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/nn"
+	"sommelier/internal/zoo"
+)
+
+// Fig3Result is the pairwise agreement matrix of Figure 3: diagonal
+// entries are each model's own top-1 accuracy (agreement with ground
+// truth); off-diagonal entries are pairwise output agreement.
+type Fig3Result struct {
+	Names  []string
+	Matrix [][]float64
+}
+
+// Fig3Config scales the experiment.
+type Fig3Config struct {
+	Models  int
+	Samples int
+	Seed    uint64
+}
+
+// DefaultFig3Config mirrors the paper's five-model setup.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{Models: 5, Samples: 2000, Seed: 0xf163}
+}
+
+// RunFig3 builds a correlated cohort (five models "trained on the same
+// data") and measures the agreement matrix.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	if cfg.Models <= 1 {
+		return nil, fmt.Errorf("experiments: fig3 needs at least two models")
+	}
+	cohort, err := zoo.CorrelatedCohort(16, 8, cfg.Models, 0.28, 0.1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	teacher, err := nn.NewExecutor(cohort.Teacher)
+	if err != nil {
+		return nil, err
+	}
+	probes := dataset.RandomImages(cfg.Samples, cohort.Teacher.InputShape, cfg.Seed+1)
+
+	execs := make([]*nn.Executor, len(cohort.Models))
+	names := make([]string, len(cohort.Models))
+	for i, m := range cohort.Models {
+		e, err := nn.NewExecutor(m)
+		if err != nil {
+			return nil, err
+		}
+		execs[i] = e
+		names[i] = m.Name
+	}
+	res := &Fig3Result{Names: names, Matrix: make([][]float64, len(execs))}
+	for i := range execs {
+		res.Matrix[i] = make([]float64, len(execs))
+		for j := range execs {
+			var v float64
+			if i == j {
+				v, err = nn.AgreementRatio(execs[i], teacher, probes)
+			} else {
+				v, err = nn.AgreementRatio(execs[i], execs[j], probes)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Matrix[i][j] = v
+		}
+	}
+	return res, nil
+}
+
+// MinOffDiagonal returns the smallest pairwise agreement.
+func (r *Fig3Result) MinOffDiagonal() float64 {
+	min := 1.0
+	for i := range r.Matrix {
+		for j := range r.Matrix[i] {
+			if i != j && r.Matrix[i][j] < min {
+				min = r.Matrix[i][j]
+			}
+		}
+	}
+	return min
+}
+
+// MaxDiagonal returns the largest own accuracy.
+func (r *Fig3Result) MaxDiagonal() float64 {
+	max := 0.0
+	for i := range r.Matrix {
+		if r.Matrix[i][i] > max {
+			max = r.Matrix[i][i]
+		}
+	}
+	return max
+}
+
+// Report renders the matrix like the paper's heatmap.
+func (r *Fig3Result) Report() Report {
+	rep := Report{ID: "fig3", Title: "Extent of equivalence between DNN models (agreement matrix)"}
+	header := "model            "
+	for _, n := range r.Names {
+		header += fmt.Sprintf("%14s", truncate(n, 13))
+	}
+	rep.Lines = append(rep.Lines, header)
+	for i, row := range r.Matrix {
+		l := fmt.Sprintf("%-17s", truncate(r.Names[i], 16))
+		for _, v := range row {
+			l += fmt.Sprintf("%14.3f", v)
+		}
+		rep.Lines = append(rep.Lines, l)
+	}
+	rep.Lines = append(rep.Lines,
+		line("min pairwise agreement %.3f vs max own accuracy %.3f (paper: off-diagonal > diagonal)",
+			r.MinOffDiagonal(), r.MaxDiagonal()))
+	return rep
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+
+	"sommelier/internal/tensor"
+)
+
+// Builder assembles models incrementally, tracking shapes so parameter
+// tensors can be allocated (and optionally initialized) as layers are
+// added. The zoo uses it to synthesize whole model families.
+type Builder struct {
+	model  *Model
+	shapes map[string]tensor.Shape
+	last   string
+	rng    *tensor.RNG
+	err    error
+	seq    int
+}
+
+// NewBuilder starts a model with the given name, task, and per-sample
+// input shape. If rng is non-nil, parameters are Xavier-initialized as
+// layers are added; otherwise they are zero.
+func NewBuilder(name string, task TaskKind, inputShape tensor.Shape, rng *tensor.RNG) *Builder {
+	b := &Builder{
+		model: &Model{
+			Name:       name,
+			Version:    "1",
+			Task:       task,
+			InputShape: inputShape.Clone(),
+		},
+		shapes: make(map[string]tensor.Shape),
+		rng:    rng,
+	}
+	b.addLayer(&Layer{Name: "input", Op: OpInput})
+	return b
+}
+
+// Err returns the first error encountered while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Last returns the name of the most recently added layer.
+func (b *Builder) Last() string { return b.last }
+
+// ShapeOfLast returns the output shape of the most recently added layer.
+func (b *Builder) ShapeOfLast() tensor.Shape { return b.shapes[b.last] }
+
+func (b *Builder) nextName(op OpKind) string {
+	b.seq++
+	return fmt.Sprintf("%s_%d", op, b.seq)
+}
+
+func (b *Builder) addLayer(l *Layer) string {
+	if b.err != nil {
+		return b.last
+	}
+	var out tensor.Shape
+	if l.Op == OpInput {
+		out = b.model.InputShape.Clone()
+	} else {
+		in := make([]tensor.Shape, len(l.Inputs))
+		for i, name := range l.Inputs {
+			s, ok := b.shapes[name]
+			if !ok {
+				b.err = fmt.Errorf("graph: builder: unknown input layer %q", name)
+				return b.last
+			}
+			in[i] = s
+		}
+		var err error
+		out, err = InferShape(l.Op, l.Attrs, in)
+		if err != nil {
+			b.err = fmt.Errorf("graph: builder: %w", err)
+			return b.last
+		}
+		specs, err := ParamSpecs(l.Op, l.Attrs, in)
+		if err != nil {
+			b.err = fmt.Errorf("graph: builder: %w", err)
+			return b.last
+		}
+		if len(specs) > 0 {
+			l.Params = make(map[string]*tensor.Tensor, len(specs))
+			for _, spec := range specs {
+				p := tensor.New(spec.Shape...)
+				b.initParam(l.Op, spec.Name, p)
+				l.Params[spec.Name] = p
+			}
+		}
+	}
+	b.model.Layers = append(b.model.Layers, l)
+	b.shapes[l.Name] = out
+	b.last = l.Name
+	return l.Name
+}
+
+func (b *Builder) initParam(op OpKind, name string, p *tensor.Tensor) {
+	switch name {
+	case "Gamma":
+		p.Fill(1)
+	case "Var":
+		p.Fill(1)
+	case "Beta", "Mean", "B":
+		// zero
+	default: // weight matrices
+		if b.rng != nil {
+			b.rng.FillXavier(p)
+		}
+	}
+}
+
+// Add appends a layer of the given kind fed by the named inputs (or the
+// previous layer when none are given) and returns its name.
+func (b *Builder) Add(op OpKind, attrs Attrs, inputs ...string) string {
+	if len(inputs) == 0 {
+		inputs = []string{b.last}
+	}
+	return b.addLayer(&Layer{Name: b.nextName(op), Op: op, Inputs: inputs, Attrs: attrs})
+}
+
+// Dense appends a fully-connected layer of the given width.
+func (b *Builder) Dense(units int) string {
+	return b.Add(OpDense, Attrs{Units: units})
+}
+
+// Conv appends a Conv2D layer.
+func (b *Builder) Conv(outChannels, kernel, stride, pad int) string {
+	return b.Add(OpConv2D, Attrs{
+		OutChannels: outChannels, KernelH: kernel, KernelW: kernel,
+		Stride: stride, Pad: pad,
+	})
+}
+
+// ReLU appends a ReLU activation.
+func (b *Builder) ReLU() string { return b.Add(OpReLU, Attrs{}) }
+
+// Tanh appends a tanh activation.
+func (b *Builder) Tanh() string { return b.Add(OpTanh, Attrs{}) }
+
+// Sigmoid appends a sigmoid activation.
+func (b *Builder) Sigmoid() string { return b.Add(OpSigmoid, Attrs{}) }
+
+// Softmax appends a softmax layer.
+func (b *Builder) Softmax() string { return b.Add(OpSoftmax, Attrs{}) }
+
+// MaxPool appends a max-pooling layer with square kernel k and stride s.
+func (b *Builder) MaxPool(k, s int) string {
+	return b.Add(OpMaxPool, Attrs{KernelH: k, KernelW: k, Stride: s})
+}
+
+// BatchNorm appends a batch-normalization layer.
+func (b *Builder) BatchNorm() string { return b.Add(OpBatchNorm, Attrs{Eps: 1e-5}) }
+
+// LayerNorm appends a layer-normalization layer.
+func (b *Builder) LayerNorm() string { return b.Add(OpLayerNorm, Attrs{Eps: 1e-5}) }
+
+// Flatten appends a flatten layer.
+func (b *Builder) Flatten() string { return b.Add(OpFlatten, Attrs{}) }
+
+// GlobalAvgPool appends a global average pooling layer.
+func (b *Builder) GlobalAvgPool() string { return b.Add(OpGlobalAvgPool, Attrs{}) }
+
+// Residual wires a two-branch residual block: body(b) runs on a branch
+// starting from the current layer, then the branch output is added back to
+// the block input. The body must preserve the input shape (or the caller
+// can add a projection inside the body).
+func (b *Builder) Residual(body func(*Builder)) string {
+	start := b.last
+	body(b)
+	end := b.last
+	if b.err != nil {
+		return b.last
+	}
+	return b.Add(OpAdd, Attrs{}, start, end)
+}
+
+// Labels sets the output syntax labels and marks the model classification.
+func (b *Builder) Labels(labels []string) *Builder {
+	b.model.OutputLabels = append([]string(nil), labels...)
+	b.model.Task = TaskClassification
+	return b
+}
+
+// Meta sets a metadata key.
+func (b *Builder) Meta(key, value string) *Builder {
+	if b.model.Metadata == nil {
+		b.model.Metadata = make(map[string]string)
+	}
+	b.model.Metadata[key] = value
+	return b
+}
+
+// Preprocessor records the model's registered input preprocessor name.
+func (b *Builder) Preprocessor(name string) *Builder {
+	b.model.Preprocessor = name
+	return b
+}
+
+// Build validates and returns the finished model.
+func (b *Builder) Build() (*Model, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.model.Validate(); err != nil {
+		return nil, err
+	}
+	return b.model, nil
+}
+
+// MustBuild is Build for static model definitions; it panics on error.
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

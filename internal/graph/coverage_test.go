@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"testing"
+
+	"sommelier/internal/tensor"
+)
+
+// Tests for the less-travelled builder and spec paths.
+
+func TestBuilderFullOperatorSurface(t *testing.T) {
+	b := NewBuilder("surface", TaskClassification, tensor.Shape{3, 8, 8}, tensor.NewRNG(1))
+	b.Conv(4, 3, 1, 1)
+	b.BatchNorm()
+	b.ReLU()
+	b.MaxPool(2, 2)
+	b.GlobalAvgPool()
+	b.Dense(8)
+	b.Sigmoid()
+	b.LayerNorm()
+	b.Dense(3)
+	b.Softmax()
+	b.Labels([]string{"a", "b", "c"})
+	b.Meta("origin", "coverage")
+	b.Preprocessor("resize8")
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if b.Last() == "" {
+		t.Fatal("Last empty")
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preprocessor != "resize8" || m.Metadata["origin"] != "coverage" {
+		t.Fatalf("builder metadata lost: %+v", m)
+	}
+	if m.InputLayer() == nil || m.InputLayer().Op != OpInput {
+		t.Fatal("InputLayer lookup failed")
+	}
+	names := m.Layers[1].ParamNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("ParamNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestBuilderErrAccessors(t *testing.T) {
+	b := NewBuilder("bad", TaskRegression, tensor.Shape{2, 2, 2}, nil)
+	b.Dense(4) // invalid on rank-3
+	if b.Err() == nil {
+		t.Fatal("Err should report the failure")
+	}
+	// Further calls are no-ops after an error.
+	before := b.Last()
+	b.ReLU()
+	if b.Last() != before {
+		t.Fatal("builder advanced after error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build should fail")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("p", TaskRegression, tensor.Shape{2, 2, 2}, nil)
+	b.Dense(4)
+	b.MustBuild()
+}
+
+func TestParamSpecsErrors(t *testing.T) {
+	cases := []struct {
+		kind  OpKind
+		attrs Attrs
+		in    []tensor.Shape
+	}{
+		{OpDense, Attrs{Units: 4}, []tensor.Shape{{2, 2}}},
+		{OpDense, Attrs{}, []tensor.Shape{{4}}},
+		{OpConv2D, Attrs{}, []tensor.Shape{{3, 4, 4}}},
+		{OpConv2D, Attrs{OutChannels: 2, KernelH: 3, KernelW: 3}, []tensor.Shape{{4}}},
+		{OpEmbedding, Attrs{}, []tensor.Shape{{4}}},
+		{OpBatchNorm, Attrs{}, nil},
+		{OpLayerNorm, Attrs{}, nil},
+	}
+	for _, c := range cases {
+		if _, err := ParamSpecs(c.kind, c.attrs, c.in); err == nil {
+			t.Errorf("ParamSpecs(%s, %+v, %v) should fail", c.kind, c.attrs, c.in)
+		}
+	}
+	// No-parameter ops return nil specs without error.
+	specs, err := ParamSpecs(OpReLU, Attrs{}, []tensor.Shape{{4}})
+	if err != nil || specs != nil {
+		t.Fatalf("ReLU specs = %v, %v", specs, err)
+	}
+}
+
+func TestParamSpecsEmbeddingAndNorms(t *testing.T) {
+	specs, err := ParamSpecs(OpEmbedding, Attrs{VocabSize: 10, EmbedDim: 4}, []tensor.Shape{{6}})
+	if err != nil || len(specs) != 1 || !specs[0].Shape.Equal(tensor.Shape{10, 4}) {
+		t.Fatalf("embedding specs = %+v, %v", specs, err)
+	}
+	specs, err = ParamSpecs(OpBatchNorm, Attrs{}, []tensor.Shape{{5, 2, 2}})
+	if err != nil || len(specs) != 4 || !specs[0].Shape.Equal(tensor.Shape{5}) {
+		t.Fatalf("batchnorm specs = %+v, %v", specs, err)
+	}
+	specs, err = ParamSpecs(OpLayerNorm, Attrs{}, []tensor.Shape{{2, 3}})
+	if err != nil || len(specs) != 2 || !specs[0].Shape.Equal(tensor.Shape{6}) {
+		t.Fatalf("layernorm specs = %+v, %v", specs, err)
+	}
+}
+
+func TestInferShapeErrorPaths(t *testing.T) {
+	cases := []struct {
+		kind  OpKind
+		attrs Attrs
+		in    []tensor.Shape
+	}{
+		{OpInput, Attrs{}, []tensor.Shape{{2}}},
+		{OpInput, Attrs{}, nil},
+		{OpReLU, Attrs{}, []tensor.Shape{{2}, {2}}},
+		{OpEmbedding, Attrs{EmbedDim: 4}, []tensor.Shape{{2, 2}}},
+		{OpMaxPool, Attrs{KernelH: 2, KernelW: 2}, []tensor.Shape{{4}}},
+		{OpMaxPool, Attrs{}, []tensor.Shape{{1, 4, 4}}},
+		{OpMaxPool, Attrs{KernelH: 9, KernelW: 9, Stride: 1}, []tensor.Shape{{1, 4, 4}}},
+		{OpGlobalAvgPool, Attrs{}, []tensor.Shape{{4}}},
+		{OpAdd, Attrs{}, []tensor.Shape{{4}}},
+		{OpConcat, Attrs{}, []tensor.Shape{{4}}},
+		{OpConcat, Attrs{}, []tensor.Shape{{2, 2}, {4}}},
+		{OpFlatten, Attrs{}, nil},
+		{OpConv2D, Attrs{OutChannels: 2, KernelH: 3, KernelW: 3, InChannels: 5}, []tensor.Shape{{3, 8, 8}}},
+		{"Bogus", Attrs{}, []tensor.Shape{{2}}},
+	}
+	for _, c := range cases {
+		if _, err := InferShape(c.kind, c.attrs, c.in); err == nil {
+			t.Errorf("InferShape(%s, %+v, %v) should fail", c.kind, c.attrs, c.in)
+		}
+	}
+}
+
+func TestInferShapeEmbeddingAndMeanPool(t *testing.T) {
+	out, err := InferShape(OpEmbedding, Attrs{VocabSize: 9, EmbedDim: 3}, []tensor.Shape{{5}})
+	if err != nil || !out.Equal(tensor.Shape{5, 3}) {
+		t.Fatalf("embedding shape = %v, %v", out, err)
+	}
+	out, err = InferShape(OpMeanPool, Attrs{KernelH: 2, KernelW: 2}, []tensor.Shape{{2, 4, 4}})
+	if err != nil || !out.Equal(tensor.Shape{2, 2, 2}) {
+		t.Fatalf("meanpool shape = %v, %v", out, err)
+	}
+}
+
+func TestOpKindValid(t *testing.T) {
+	if !OpConcat.Valid() || !OpEmbedding.Valid() {
+		t.Fatal("known op reported invalid")
+	}
+	if OpKind("RNN").Valid() {
+		t.Fatal("unknown op reported valid")
+	}
+}
+
+func TestShapeStringAndValid(t *testing.T) {
+	s := tensor.Shape{3, 4}
+	if s.String() != "(3,4)" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if (tensor.Shape{0, 2}).Valid() {
+		t.Fatal("zero dim reported valid")
+	}
+}

@@ -1,0 +1,286 @@
+// Package graph defines the DNN model substrate for the Sommelier
+// reproduction: models are directed acyclic graphs of typed layers, each
+// carrying attributes (tensor shapes, hyper-parameters) and parameters
+// (weight tensors), exactly the anatomy Figure 2 of the paper describes.
+// The package is framework-agnostic by construction — internal/equiv,
+// internal/resource and internal/index consume only this representation,
+// mirroring how the paper's C++ engine consumes ONNX.
+package graph
+
+import (
+	"fmt"
+
+	"sommelier/internal/tensor"
+)
+
+// OpKind identifies the mathematical operator a layer performs.
+type OpKind string
+
+// Supported operator kinds. The equivalence analysis in internal/equiv
+// classifies these into linear, non-linear, and multi-source combination
+// operators per §4.2 of the paper.
+const (
+	OpInput         OpKind = "Input"
+	OpDense         OpKind = "Dense"
+	OpConv2D        OpKind = "Conv2D"
+	OpEmbedding     OpKind = "Embedding"
+	OpReLU          OpKind = "ReLU"
+	OpLeakyReLU     OpKind = "LeakyReLU"
+	OpTanh          OpKind = "Tanh"
+	OpSigmoid       OpKind = "Sigmoid"
+	OpSoftmax       OpKind = "Softmax"
+	OpMaxPool       OpKind = "MaxPool"
+	OpMeanPool      OpKind = "MeanPool"
+	OpGlobalAvgPool OpKind = "GlobalAvgPool"
+	OpBatchNorm     OpKind = "BatchNorm"
+	OpLayerNorm     OpKind = "LayerNorm"
+	OpAdd           OpKind = "Add"
+	OpMul           OpKind = "Mul"
+	OpConcat        OpKind = "Concat"
+	OpFlatten       OpKind = "Flatten"
+	OpDropout       OpKind = "Dropout"
+	OpIdentity      OpKind = "Identity"
+)
+
+// OpClass groups operators by how errors propagate through them (§4.2).
+type OpClass int
+
+const (
+	// ClassLinear covers operators whose kernel is a matrix multiply:
+	// Dense, Conv2D, Embedding.
+	ClassLinear OpClass = iota
+	// ClassNonLinear covers activations, pooling, and normalization.
+	ClassNonLinear
+	// ClassMultiSource covers operators merging several inputs.
+	ClassMultiSource
+	// ClassStructural covers shape-only operators (Input, Flatten,
+	// Identity, Dropout-at-inference) that pass values through.
+	ClassStructural
+)
+
+// Class returns the error-propagation class of the operator.
+func (k OpKind) Class() OpClass {
+	switch k {
+	case OpDense, OpConv2D, OpEmbedding:
+		return ClassLinear
+	case OpReLU, OpLeakyReLU, OpTanh, OpSigmoid, OpSoftmax,
+		OpMaxPool, OpMeanPool, OpGlobalAvgPool, OpBatchNorm, OpLayerNorm:
+		return ClassNonLinear
+	case OpAdd, OpMul, OpConcat:
+		return ClassMultiSource
+	default:
+		return ClassStructural
+	}
+}
+
+// Valid reports whether k is a recognized operator kind.
+func (k OpKind) Valid() bool {
+	switch k {
+	case OpInput, OpDense, OpConv2D, OpEmbedding, OpReLU, OpLeakyReLU,
+		OpTanh, OpSigmoid, OpSoftmax, OpMaxPool, OpMeanPool,
+		OpGlobalAvgPool, OpBatchNorm, OpLayerNorm, OpAdd, OpMul,
+		OpConcat, OpFlatten, OpDropout, OpIdentity:
+		return true
+	}
+	return false
+}
+
+// Attrs carries the per-layer hyper-parameters. Fields not meaningful for
+// an operator are left at their zero values.
+type Attrs struct {
+	// Units is the output width of a Dense layer.
+	Units int `json:"units,omitempty"`
+	// InChannels/OutChannels describe Conv2D channel counts.
+	InChannels  int `json:"in_channels,omitempty"`
+	OutChannels int `json:"out_channels,omitempty"`
+	// KernelH/KernelW/Stride/Pad parameterize Conv2D and pooling.
+	KernelH int `json:"kernel_h,omitempty"`
+	KernelW int `json:"kernel_w,omitempty"`
+	Stride  int `json:"stride,omitempty"`
+	Pad     int `json:"pad,omitempty"`
+	// VocabSize/EmbedDim parameterize Embedding.
+	VocabSize int `json:"vocab_size,omitempty"`
+	EmbedDim  int `json:"embed_dim,omitempty"`
+	// Alpha is the LeakyReLU negative slope.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Rate is the Dropout rate (inference treats Dropout as identity).
+	Rate float64 `json:"rate,omitempty"`
+	// Eps is the normalization epsilon.
+	Eps float64 `json:"eps,omitempty"`
+}
+
+// ParamSpec names a parameter tensor an operator requires and its shape
+// given the layer attributes.
+type ParamSpec struct {
+	Name  string
+	Shape tensor.Shape
+}
+
+// ParamSpecs returns the parameter tensors the operator requires. Input
+// shapes are per-sample (no batch dimension).
+func ParamSpecs(kind OpKind, attrs Attrs, in []tensor.Shape) ([]ParamSpec, error) {
+	switch kind {
+	case OpDense:
+		if len(in) != 1 || in[0].Rank() != 1 {
+			return nil, fmt.Errorf("graph: Dense needs one rank-1 input, got %v", in)
+		}
+		if attrs.Units <= 0 {
+			return nil, fmt.Errorf("graph: Dense needs positive Units")
+		}
+		return []ParamSpec{
+			{Name: "W", Shape: tensor.Shape{attrs.Units, in[0][0]}},
+			{Name: "B", Shape: tensor.Shape{attrs.Units}},
+		}, nil
+	case OpConv2D:
+		if len(in) != 1 || in[0].Rank() != 3 {
+			return nil, fmt.Errorf("graph: Conv2D needs one rank-3 input, got %v", in)
+		}
+		if attrs.OutChannels <= 0 || attrs.KernelH <= 0 || attrs.KernelW <= 0 {
+			return nil, fmt.Errorf("graph: Conv2D needs OutChannels and kernel dims")
+		}
+		inC := in[0][0]
+		return []ParamSpec{
+			{Name: "W", Shape: tensor.Shape{attrs.OutChannels, inC * attrs.KernelH * attrs.KernelW}},
+			{Name: "B", Shape: tensor.Shape{attrs.OutChannels}},
+		}, nil
+	case OpEmbedding:
+		if attrs.VocabSize <= 0 || attrs.EmbedDim <= 0 {
+			return nil, fmt.Errorf("graph: Embedding needs VocabSize and EmbedDim")
+		}
+		return []ParamSpec{
+			{Name: "W", Shape: tensor.Shape{attrs.VocabSize, attrs.EmbedDim}},
+		}, nil
+	case OpBatchNorm:
+		if len(in) != 1 {
+			return nil, fmt.Errorf("graph: BatchNorm needs one input")
+		}
+		c := in[0][0]
+		s := tensor.Shape{c}
+		return []ParamSpec{
+			{Name: "Gamma", Shape: s}, {Name: "Beta", Shape: s},
+			{Name: "Mean", Shape: s}, {Name: "Var", Shape: s},
+		}, nil
+	case OpLayerNorm:
+		if len(in) != 1 {
+			return nil, fmt.Errorf("graph: LayerNorm needs one input")
+		}
+		n := in[0].NumElements()
+		s := tensor.Shape{n}
+		return []ParamSpec{{Name: "Gamma", Shape: s}, {Name: "Beta", Shape: s}}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// InferShape computes the per-sample output shape of an operator given its
+// input shapes and attributes. It returns an error when the combination is
+// invalid — this is the type-check phase of the whole-model equivalence
+// pipeline (§4.1).
+func InferShape(kind OpKind, attrs Attrs, in []tensor.Shape) (tensor.Shape, error) {
+	one := func() (tensor.Shape, error) {
+		if len(in) != 1 {
+			return nil, fmt.Errorf("graph: %s needs exactly one input, got %d", kind, len(in))
+		}
+		return in[0].Clone(), nil
+	}
+	switch kind {
+	case OpInput:
+		if len(in) != 0 {
+			return nil, fmt.Errorf("graph: Input takes no inputs")
+		}
+		return nil, fmt.Errorf("graph: Input shape comes from the model spec")
+	case OpDense:
+		if len(in) != 1 || in[0].Rank() != 1 {
+			return nil, fmt.Errorf("graph: Dense needs one rank-1 input, got %v", in)
+		}
+		if attrs.Units <= 0 {
+			return nil, fmt.Errorf("graph: Dense needs positive Units")
+		}
+		return tensor.Shape{attrs.Units}, nil
+	case OpConv2D:
+		if len(in) != 1 || in[0].Rank() != 3 {
+			return nil, fmt.Errorf("graph: Conv2D needs one rank-3 input, got %v", in)
+		}
+		if attrs.InChannels != 0 && attrs.InChannels != in[0][0] {
+			return nil, fmt.Errorf("graph: Conv2D InChannels %d vs input %d", attrs.InChannels, in[0][0])
+		}
+		stride := attrs.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		h := convOut(in[0][1], attrs.KernelH, attrs.Pad, stride)
+		w := convOut(in[0][2], attrs.KernelW, attrs.Pad, stride)
+		if h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("graph: Conv2D output %dx%d invalid for input %v", h, w, in[0])
+		}
+		return tensor.Shape{attrs.OutChannels, h, w}, nil
+	case OpEmbedding:
+		if len(in) != 1 || in[0].Rank() != 1 {
+			return nil, fmt.Errorf("graph: Embedding needs one rank-1 input of token ids")
+		}
+		return tensor.Shape{in[0][0], attrs.EmbedDim}, nil
+	case OpReLU, OpLeakyReLU, OpTanh, OpSigmoid, OpSoftmax, OpBatchNorm,
+		OpLayerNorm, OpDropout, OpIdentity:
+		return one()
+	case OpMaxPool, OpMeanPool:
+		if len(in) != 1 || in[0].Rank() != 3 {
+			return nil, fmt.Errorf("graph: %s needs one rank-3 input, got %v", kind, in)
+		}
+		stride := attrs.Stride
+		if stride == 0 {
+			stride = attrs.KernelH
+		}
+		if attrs.KernelH <= 0 || attrs.KernelW <= 0 || stride <= 0 {
+			return nil, fmt.Errorf("graph: %s needs positive kernel and stride", kind)
+		}
+		h := convOut(in[0][1], attrs.KernelH, 0, stride)
+		w := convOut(in[0][2], attrs.KernelW, 0, stride)
+		if h <= 0 || w <= 0 {
+			return nil, fmt.Errorf("graph: %s output %dx%d invalid for input %v", kind, h, w, in[0])
+		}
+		return tensor.Shape{in[0][0], h, w}, nil
+	case OpGlobalAvgPool:
+		if len(in) != 1 || in[0].Rank() < 2 {
+			return nil, fmt.Errorf("graph: GlobalAvgPool needs one input of rank >= 2")
+		}
+		return tensor.Shape{in[0][0]}, nil
+	case OpAdd, OpMul:
+		if len(in) < 2 {
+			return nil, fmt.Errorf("graph: %s needs at least two inputs", kind)
+		}
+		for _, s := range in[1:] {
+			if !s.Equal(in[0]) {
+				return nil, fmt.Errorf("graph: %s input shapes differ: %v vs %v", kind, in[0], s)
+			}
+		}
+		return in[0].Clone(), nil
+	case OpConcat:
+		if len(in) < 2 {
+			return nil, fmt.Errorf("graph: Concat needs at least two inputs")
+		}
+		out := in[0].Clone()
+		for _, s := range in[1:] {
+			if s.Rank() != out.Rank() {
+				return nil, fmt.Errorf("graph: Concat rank mismatch: %v vs %v", out, s)
+			}
+			for d := 1; d < s.Rank(); d++ {
+				if s[d] != out[d] {
+					return nil, fmt.Errorf("graph: Concat trailing dims differ: %v vs %v", out, s)
+				}
+			}
+			out[0] += s[0]
+		}
+		return out, nil
+	case OpFlatten:
+		if len(in) != 1 {
+			return nil, fmt.Errorf("graph: Flatten needs one input")
+		}
+		return tensor.Shape{in[0].NumElements()}, nil
+	default:
+		return nil, fmt.Errorf("graph: unknown operator %q", kind)
+	}
+}
+
+func convOut(in, kernel, pad, stride int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

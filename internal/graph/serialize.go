@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sommelier/internal/tensor"
+)
+
+// The SOMX wire format is the reproduction's stand-in for ONNX: a JSON
+// envelope describing the DAG with parameter tensors inlined as flat
+// arrays. Real Sommelier imports/exports ONNX through a Python shim; here
+// the format is native so the whole pipeline stays in Go.
+
+const somxFormatVersion = 1
+
+type somxFile struct {
+	Format       int               `json:"format"`
+	Name         string            `json:"name"`
+	Version      string            `json:"version"`
+	Task         TaskKind          `json:"task"`
+	InputShape   []int             `json:"input_shape"`
+	Preprocessor string            `json:"preprocessor,omitempty"`
+	OutputLabels []string          `json:"output_labels,omitempty"`
+	Metadata     map[string]string `json:"metadata,omitempty"`
+	Layers       []somxLayer       `json:"layers"`
+}
+
+type somxLayer struct {
+	Name   string                `json:"name"`
+	Op     OpKind                `json:"op"`
+	Inputs []string              `json:"inputs,omitempty"`
+	Attrs  Attrs                 `json:"attrs"`
+	Params map[string]somxTensor `json:"params,omitempty"`
+}
+
+type somxTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// Encode writes the model to w in SOMX format.
+func Encode(w io.Writer, m *Model) error {
+	f := somxFile{
+		Format:       somxFormatVersion,
+		Name:         m.Name,
+		Version:      m.Version,
+		Task:         m.Task,
+		InputShape:   m.InputShape,
+		Preprocessor: m.Preprocessor,
+		OutputLabels: m.OutputLabels,
+		Metadata:     m.Metadata,
+		Layers:       make([]somxLayer, len(m.Layers)),
+	}
+	for i, l := range m.Layers {
+		sl := somxLayer{Name: l.Name, Op: l.Op, Inputs: l.Inputs, Attrs: l.Attrs}
+		if len(l.Params) > 0 {
+			sl.Params = make(map[string]somxTensor, len(l.Params))
+			for name, p := range l.Params {
+				sl.Params[name] = somxTensor{Shape: p.Shape(), Data: p.Data()}
+			}
+		}
+		f.Layers[i] = sl
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// Decode reads a SOMX model from r and validates it.
+func Decode(r io.Reader) (*Model, error) {
+	var f somxFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("graph: decoding SOMX: %w", err)
+	}
+	if f.Format != somxFormatVersion {
+		return nil, fmt.Errorf("graph: unsupported SOMX format %d", f.Format)
+	}
+	m := &Model{
+		Name:         f.Name,
+		Version:      f.Version,
+		Task:         f.Task,
+		InputShape:   f.InputShape,
+		Preprocessor: f.Preprocessor,
+		OutputLabels: f.OutputLabels,
+		Metadata:     f.Metadata,
+		Layers:       make([]*Layer, len(f.Layers)),
+	}
+	for i, sl := range f.Layers {
+		l := &Layer{Name: sl.Name, Op: sl.Op, Inputs: sl.Inputs, Attrs: sl.Attrs}
+		if len(sl.Params) > 0 {
+			l.Params = make(map[string]*tensor.Tensor, len(sl.Params))
+			for name, st := range sl.Params {
+				if tensor.Shape(st.Shape).NumElements() != len(st.Data) {
+					return nil, fmt.Errorf("graph: layer %q param %q: %d values for shape %v",
+						sl.Name, name, len(st.Data), st.Shape)
+				}
+				l.Params[name] = tensor.FromSlice(st.Data, st.Shape...)
+			}
+		}
+		m.Layers[i] = l
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded model invalid: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+
+	"sommelier/internal/tensor"
+)
+
+// This file implements model surgery: carving a stored model's prefix
+// out as a standalone network. §2 of the paper lists "certain model
+// segments (e.g., visual feature extractors)" as a primary reuse unit —
+// a designer loads a trunk, not a whole classifier.
+
+// ExtractPrefix returns a new model consisting of every layer the named
+// cut layer depends on (inclusive): the feature extractor ending at
+// `cut`. Parameters are deep-copied. The result is a valid standalone
+// model whose output is the cut layer's activation; its task is set to
+// regression since the prefix emits features, not class scores.
+func ExtractPrefix(m *Model, cut string) (*Model, error) {
+	target := m.Layer(cut)
+	if target == nil {
+		return nil, fmt.Errorf("graph: model %q has no layer %q", m.Name, cut)
+	}
+	order, err := m.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// Collect the dependency closure of the cut layer.
+	keep := map[string]bool{cut: true}
+	// Walk the topological order backwards, marking inputs of kept
+	// layers; a reverse pass over a topo order reaches every ancestor.
+	for i := len(order) - 1; i >= 0; i-- {
+		l := order[i]
+		if !keep[l.Name] {
+			continue
+		}
+		for _, in := range l.Inputs {
+			keep[in] = true
+		}
+	}
+	out := &Model{
+		Name:         m.Name + "/upto-" + cut,
+		Version:      m.Version,
+		Task:         TaskRegression,
+		InputShape:   m.InputShape.Clone(),
+		Preprocessor: m.Preprocessor,
+	}
+	for _, l := range order {
+		if keep[l.Name] {
+			out.Layers = append(out.Layers, l.Clone())
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: extracted prefix invalid: %w", err)
+	}
+	return out, nil
+}
+
+// AttachHead appends a freshly initialized Dense(+Softmax) classifier
+// head to a feature extractor, producing a trainable downstream model —
+// the other half of the §2 transfer workflow. The extractor's output
+// must be rank-1 (append a Flatten first otherwise); init may be nil for
+// zero-initialized head weights.
+func AttachHead(extractor *Model, name string, classes int, labels []string, init func(*Layer)) (*Model, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("graph: head needs positive class count")
+	}
+	outName, err := extractor.OutputLayerName()
+	if err != nil {
+		return nil, err
+	}
+	shapes, err := extractor.ShapeOf()
+	if err != nil {
+		return nil, err
+	}
+	outShape := shapes[outName]
+	m := extractor.Clone()
+	m.Name = name
+	m.Task = TaskClassification
+	m.OutputLabels = append([]string(nil), labels...)
+
+	prev := outName
+	if outShape.Rank() != 1 {
+		flat := &Layer{Name: "head_flatten", Op: OpFlatten, Inputs: []string{prev}}
+		m.Layers = append(m.Layers, flat)
+		prev = flat.Name
+		outShape = tensor.Shape{outShape.NumElements()}
+	}
+	dense := &Layer{
+		Name: "head_dense", Op: OpDense, Inputs: []string{prev},
+		Attrs: Attrs{Units: classes},
+	}
+	specs, err := ParamSpecs(OpDense, dense.Attrs, []tensor.Shape{outShape})
+	if err != nil {
+		return nil, err
+	}
+	dense.Params = make(map[string]*tensor.Tensor, len(specs))
+	for _, spec := range specs {
+		dense.Params[spec.Name] = tensor.New(spec.Shape...)
+	}
+	if init != nil {
+		init(dense)
+	}
+	m.Layers = append(m.Layers, dense)
+	m.Layers = append(m.Layers, &Layer{
+		Name: "head_softmax", Op: OpSoftmax, Inputs: []string{"head_dense"},
+	})
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: head attachment invalid: %w", err)
+	}
+	return m, nil
+}
+
+// FrozenTrunk returns the set of layer names belonging to the extractor
+// part of a model produced by AttachHead — the map to hand to
+// train.Config.Frozen for head-only fine-tuning.
+func FrozenTrunk(m *Model) map[string]bool {
+	out := make(map[string]bool)
+	for _, l := range m.Layers {
+		switch l.Name {
+		case "head_flatten", "head_dense", "head_softmax":
+		default:
+			out[l.Name] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+
+	"sommelier/internal/tensor"
+)
+
+func residualModel(t testing.TB) *Model {
+	t.Helper()
+	b := NewBuilder("surgery", TaskClassification, tensor.Shape{8}, tensor.NewRNG(1))
+	b.Dense(12)
+	b.ReLU()
+	b.Residual(func(b *Builder) {
+		b.Dense(12)
+		b.ReLU()
+		b.Dense(12)
+	})
+	b.Dense(4)
+	b.Softmax()
+	return b.MustBuild()
+}
+
+func TestExtractPrefixSequential(t *testing.T) {
+	m := residualModel(t)
+	// Cut after the first activation: the extractor is input + Dense +
+	// ReLU.
+	fx, err := ExtractPrefix(m, "ReLU_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fx.Layers) != 3 {
+		t.Fatalf("prefix has %d layers", len(fx.Layers))
+	}
+	if fx.Task != TaskRegression {
+		t.Fatalf("prefix task %s", fx.Task)
+	}
+	out, err := fx.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(tensor.Shape{12}) {
+		t.Fatalf("prefix output %v", out)
+	}
+}
+
+func TestExtractPrefixCrossesBranches(t *testing.T) {
+	m := residualModel(t)
+	// Cut at the residual Add: the closure must include both the skip
+	// path and the branch body.
+	var addName string
+	for _, l := range m.Layers {
+		if l.Op == OpAdd {
+			addName = l.Name
+		}
+	}
+	fx, err := ExtractPrefix(m, addName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything except the classifier head (Dense_6, Softmax_7).
+	if len(fx.Layers) != len(m.Layers)-2 {
+		t.Fatalf("prefix layers = %d, want %d", len(fx.Layers), len(m.Layers)-2)
+	}
+}
+
+func TestExtractPrefixDeepCopies(t *testing.T) {
+	m := residualModel(t)
+	fx, err := ExtractPrefix(m, "Dense_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.Layer("Dense_1").Params["W"].Data()[0] += 100
+	if m.Layer("Dense_1").Params["W"].Data()[0] == fx.Layer("Dense_1").Params["W"].Data()[0] {
+		t.Fatal("prefix shares parameter storage with the source")
+	}
+}
+
+func TestExtractPrefixUnknownLayer(t *testing.T) {
+	if _, err := ExtractPrefix(residualModel(t), "ghost"); err == nil {
+		t.Fatal("expected unknown-layer error")
+	}
+}
+
+func TestAttachHeadRank1(t *testing.T) {
+	m := residualModel(t)
+	fx, err := ExtractPrefix(m, "ReLU_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	ds, err := AttachHead(fx, "downstream", 3, []string{"x", "y", "z"}, func(l *Layer) {
+		rng.FillXavier(l.Params["W"])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ds.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(tensor.Shape{3}) {
+		t.Fatalf("head output %v", out)
+	}
+	if ds.Task != TaskClassification || len(ds.OutputLabels) != 3 {
+		t.Fatalf("head task/labels: %s %v", ds.Task, ds.OutputLabels)
+	}
+	// Head weights must be initialized.
+	if ds.Layer("head_dense").Params["W"].L2Norm() == 0 {
+		t.Fatal("init callback not applied")
+	}
+	frozen := FrozenTrunk(ds)
+	if frozen["head_dense"] || !frozen["Dense_1"] {
+		t.Fatalf("FrozenTrunk wrong: %v", frozen)
+	}
+}
+
+func TestAttachHeadFlattensRank3(t *testing.T) {
+	b := NewBuilder("conv", TaskClassification, tensor.Shape{2, 4, 4}, tensor.NewRNG(2))
+	b.Conv(3, 3, 1, 1)
+	b.ReLU()
+	b.Flatten()
+	b.Dense(4)
+	b.Softmax()
+	m := b.MustBuild()
+	fx, err := ExtractPrefix(m, "ReLU_2") // rank-3 output
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := AttachHead(fx, "ds", 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Layer("head_flatten") == nil {
+		t.Fatal("rank-3 extractor output should get a flatten")
+	}
+	out, err := ds.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(tensor.Shape{2}) {
+		t.Fatalf("output %v", out)
+	}
+}
+
+func TestAttachHeadValidation(t *testing.T) {
+	fx, err := ExtractPrefix(residualModel(t), "ReLU_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachHead(fx, "x", 0, nil, nil); err == nil {
+		t.Fatal("expected class-count error")
+	}
+}

@@ -1,0 +1,175 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/repo"
+)
+
+// Client accesses a remote hub with the same surface as a local
+// repo.Repository (publish/load/list/delete), caching fetched models so
+// repeated Loads — the indexing hot path — hit the network once.
+type Client struct {
+	base string
+	http *http.Client
+
+	mu    sync.RWMutex
+	cache map[string]*graph.Model
+}
+
+// NewClient returns a client for a hub at baseURL (e.g.
+// "http://hub:8080"). httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("hub: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  httpClient,
+		cache: make(map[string]*graph.Model),
+	}, nil
+}
+
+func (c *Client) modelURL(id string) string {
+	return c.base + "/v1/models/" + url.PathEscape(id)
+}
+
+// Publish uploads a model and returns its hub ID.
+func (c *Client) Publish(m *graph.Model) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", fmt.Errorf("hub: refusing invalid model: %w", err)
+	}
+	id := m.Name + "@" + m.Version
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, m); err != nil {
+		return "", fmt.Errorf("hub: encoding: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.modelURL(id), &buf)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/x-somx")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("hub: publish %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("hub: publish %s: %s", id, readError(resp))
+	}
+	c.mu.Lock()
+	c.cache[id] = m
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Load fetches a model by ID, serving repeats from the local cache.
+func (c *Client) Load(id string) (*graph.Model, error) {
+	c.mu.RLock()
+	m, ok := c.cache[id]
+	c.mu.RUnlock()
+	if ok {
+		return m, nil
+	}
+	resp, err := c.http.Get(c.modelURL(id))
+	if err != nil {
+		return nil, fmt.Errorf("hub: load %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hub: load %s: %s", id, readError(resp))
+	}
+	m, err = graph.Decode(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("hub: load %s: %w", id, err)
+	}
+	c.mu.Lock()
+	c.cache[id] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// List returns metadata for every hub model.
+func (c *Client) List() ([]repo.Metadata, error) {
+	resp, err := c.http.Get(c.base + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("hub: list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hub: list: %s", readError(resp))
+	}
+	var wire []metaJSON
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("hub: list: %w", err)
+	}
+	out := make([]repo.Metadata, len(wire))
+	for i, w := range wire {
+		out[i] = repo.Metadata{
+			ID: w.ID, Name: w.Name, Version: w.Version,
+			Task: graph.TaskKind(w.Task), Series: w.Series, Annotations: w.Notes,
+		}
+	}
+	return out, nil
+}
+
+// Delete removes a model from the hub and the local cache.
+func (c *Client) Delete(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.modelURL(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("hub: delete %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("hub: delete %s: %s", id, readError(resp))
+	}
+	c.mu.Lock()
+	delete(c.cache, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// Mirror copies every hub model into a local repository — the 3-line
+// migration path of §6: point Sommelier at a mirror of any hub.
+func (c *Client) Mirror(dst *repo.Repository) (int, error) {
+	list, err := c.List()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, md := range list {
+		m, err := c.Load(md.ID)
+		if err != nil {
+			return n, err
+		}
+		if _, err := dst.Publish(m); err != nil {
+			return n, fmt.Errorf("hub: mirroring %s: %w", md.ID, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func readError(resp *http.Response) string {
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if err != nil || len(b) == 0 {
+		return resp.Status
+	}
+	return resp.Status + ": " + strings.TrimSpace(string(b))
+}

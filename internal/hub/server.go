@@ -1,0 +1,126 @@
+// Package hub exposes a model repository over HTTP — the "remote
+// filesystem" role TF-Hub and PyTorch Hub play in Figure 1. The server
+// wraps a repo.Repository with the bare-bone publish/load/list REST
+// interface existing hubs provide; the client implements the same Go
+// surface as a local repository so Sommelier can interpose on a remote
+// hub exactly as on a local one (§6: "only 3 lines of configuration
+// change to migrate Sommelier across model repositories").
+//
+// Endpoints:
+//
+//	GET  /v1/models            — list model metadata (JSON)
+//	GET  /v1/models/{id}       — fetch one model (SOMX)
+//	PUT  /v1/models/{id}       — publish a model (SOMX body)
+//	DELETE /v1/models/{id}     — remove a model
+package hub
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/repo"
+)
+
+// Server serves a repository over HTTP.
+type Server struct {
+	store *repo.Repository
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a repository.
+func NewServer(store *repo.Repository) (*Server, error) {
+	if store == nil {
+		return nil, fmt.Errorf("hub: nil repository")
+	}
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/models", s.handleList)
+	s.mux.HandleFunc("/v1/models/", s.handleModel)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// metaJSON is the wire form of repo.Metadata.
+type metaJSON struct {
+	ID      string            `json:"id"`
+	Name    string            `json:"name"`
+	Version string            `json:"version"`
+	Task    string            `json:"task"`
+	Series  string            `json:"series,omitempty"`
+	Notes   map[string]string `json:"annotations,omitempty"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var out []metaJSON
+	for _, md := range s.store.List() {
+		out = append(out, metaJSON{
+			ID: md.ID, Name: md.Name, Version: md.Version,
+			Task: string(md.Task), Series: md.Series, Notes: md.Annotations,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if id == "" {
+		http.Error(w, "missing model id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		m, err := s.store.Load(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-somx")
+		if err := graph.Encode(w, m); err != nil {
+			// Headers are gone; nothing more to do than log via the
+			// error path available to handlers.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case http.MethodPut:
+		m, err := graph.Decode(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		gotID, err := s.store.Publish(m)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if gotID != id {
+			// The bare-bone interface is load-by-exact-URL; a body
+			// whose identity disagrees with the path would corrupt
+			// later lookups.
+			_ = s.store.Delete(gotID)
+			http.Error(w, fmt.Sprintf("model identity %q does not match path id %q", gotID, id),
+				http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := s.store.Delete(id); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

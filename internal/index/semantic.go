@@ -1,0 +1,311 @@
+// Package index implements Sommelier's two run-time index structures
+// (§5): the semantic index, a hashtable from model fingerprints to
+// descending lists of functionally equivalent candidates, and the
+// resource-profile index, an LSH structure over resource vectors.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// CandidateKind distinguishes real stored models from synthesized
+// segment-replacement models (§5.2 insertion case (ii)).
+type CandidateKind int
+
+const (
+	// KindWhole is a real model holistically equivalent to the key.
+	KindWhole CandidateKind = iota
+	// KindSynthesized is a model obtained by replacing a segment of the
+	// keyed model with a segment of another stored model.
+	KindSynthesized
+)
+
+func (k CandidateKind) String() string {
+	if k == KindSynthesized {
+		return "synthesized"
+	}
+	return "whole"
+}
+
+// Candidate is one record in a semantic-index candidate list.
+type Candidate struct {
+	// ID names the candidate model in the repository; synthesized
+	// candidates carry the donor model's ID in DonorID and a segment
+	// description in Segment.
+	ID      string
+	Level   float64
+	Kind    CandidateKind
+	DonorID string
+	Segment string
+	// Derived marks levels obtained transitively rather than measured.
+	Derived bool
+}
+
+// Entry couples a repository model ID with its graph for analysis.
+type Entry struct {
+	ID    string
+	Model *graph.Model
+}
+
+// AnalysisResult is what an Analyzer reports for one ordered pair.
+type AnalysisResult struct {
+	// LevelForRef is the equivalence level of the candidate when it
+	// stands in for the reference (asymmetric, §4.3).
+	LevelForRef float64
+	// LevelForCand is the reverse direction.
+	LevelForCand float64
+	// SynthForRef lists synthesized candidates for the reference's
+	// entry (segment of candidate transplanted into reference).
+	SynthForRef []Candidate
+	// SynthForCand lists synthesized candidates for the candidate's
+	// entry.
+	SynthForCand []Candidate
+}
+
+// Analyzer measures pairwise functional equivalence. internal/equiv
+// provides the real implementation; tests may stub it.
+type Analyzer interface {
+	Analyze(ref, cand Entry) (AnalysisResult, error)
+}
+
+// SemanticIndex is the §5.2 structure: for each stored model, a list of
+// candidate records ordered by descending functional-equivalence level.
+type SemanticIndex struct {
+	// SampleSize is how many existing models a new insertion is
+	// measured against directly (the paper uses 5); the rest are
+	// derived transitively.
+	SampleSize int
+
+	entries map[string]*semEntry // keyed by model ID
+	byFP    map[string]string    // fingerprint -> model ID
+	order   []string             // insertion order, for deterministic sampling
+	rng     *tensor.RNG
+}
+
+type semEntry struct {
+	entry       Entry
+	fingerprint string
+	candidates  []Candidate
+	// measured records which other IDs have a directly measured level
+	// (used for transitive derivation).
+	measured map[string]float64 // other ID -> diff (1 - level)
+}
+
+// NewSemanticIndex returns an empty semantic index with the paper's
+// 5-sample insertion policy.
+func NewSemanticIndex(seed uint64) *SemanticIndex {
+	return &SemanticIndex{
+		SampleSize: 5,
+		entries:    make(map[string]*semEntry),
+		byFP:       make(map[string]string),
+		rng:        tensor.NewRNG(seed),
+	}
+}
+
+// Len returns the number of indexed models.
+func (s *SemanticIndex) Len() int { return len(s.entries) }
+
+// IDs returns the indexed model IDs in insertion order.
+func (s *SemanticIndex) IDs() []string { return append([]string(nil), s.order...) }
+
+// Contains reports whether the model ID is indexed.
+func (s *SemanticIndex) Contains(id string) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Insert adds a model, measuring equivalence against up to SampleSize
+// randomly chosen existing models via the analyzer and deriving levels to
+// the remainder transitively (§5.2).
+func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
+	if e.ID == "" || e.Model == nil {
+		return fmt.Errorf("index: entry must have an ID and a model")
+	}
+	if _, dup := s.entries[e.ID]; dup {
+		return fmt.Errorf("index: model %q already indexed", e.ID)
+	}
+	rec := &semEntry{
+		entry:       e,
+		fingerprint: e.Model.Fingerprint(),
+		measured:    make(map[string]float64),
+	}
+
+	// Choose up to SampleSize existing models uniformly at random.
+	k := s.SampleSize
+	if k <= 0 {
+		k = 5
+	}
+	var sampled []string
+	if len(s.order) <= k {
+		sampled = append(sampled, s.order...)
+	} else {
+		perm := s.rng.Perm(len(s.order))
+		for _, p := range perm[:k] {
+			sampled = append(sampled, s.order[p])
+		}
+	}
+
+	for _, otherID := range sampled {
+		other := s.entries[otherID]
+		res, err := analyzer.Analyze(e, other.entry)
+		if err != nil {
+			return fmt.Errorf("index: analyzing %q vs %q: %w", e.ID, otherID, err)
+		}
+		// res.LevelForRef: candidate (other) standing in for the new
+		// model; goes to the new entry's list.
+		if res.LevelForRef > 0 {
+			rec.candidates = insertSorted(rec.candidates, Candidate{
+				ID: otherID, Level: res.LevelForRef, Kind: KindWhole,
+			})
+		}
+		if res.LevelForCand > 0 {
+			other.candidates = insertSorted(other.candidates, Candidate{
+				ID: e.ID, Level: res.LevelForCand, Kind: KindWhole,
+			})
+		}
+		rec.measured[otherID] = 1 - res.LevelForRef
+		other.measured[e.ID] = 1 - res.LevelForCand
+		for _, c := range res.SynthForRef {
+			rec.candidates = insertSorted(rec.candidates, c)
+		}
+		for _, c := range res.SynthForCand {
+			other.candidates = insertSorted(other.candidates, c)
+		}
+	}
+
+	// Transitive derivation: for every unsampled model Z reachable
+	// through a sampled Y, diff(new, Z) is bounded above by
+	// diff(new, Y) + diff(Y, Z); the paper's |A−B| lower bound is not
+	// needed for ranking, so the conservative upper bound is stored.
+	sampledSet := make(map[string]bool, len(sampled))
+	for _, id := range sampled {
+		sampledSet[id] = true
+	}
+	for _, otherID := range s.order {
+		if sampledSet[otherID] {
+			continue
+		}
+		other := s.entries[otherID]
+		best := -1.0
+		for _, y := range sampled {
+			dNewY, ok := rec.measured[y]
+			if !ok {
+				continue
+			}
+			dYZ, ok := s.entries[y].measured[otherID]
+			if !ok {
+				continue
+			}
+			if lvl := 1 - (dNewY + dYZ); lvl > best {
+				best = lvl
+			}
+		}
+		if best > 0 {
+			rec.candidates = insertSorted(rec.candidates, Candidate{
+				ID: otherID, Level: best, Kind: KindWhole, Derived: true,
+			})
+			other.candidates = insertSorted(other.candidates, Candidate{
+				ID: e.ID, Level: best, Kind: KindWhole, Derived: true,
+			})
+			rec.measured[otherID] = 1 - best
+			other.measured[e.ID] = 1 - best
+		}
+	}
+
+	s.entries[e.ID] = rec
+	s.byFP[rec.fingerprint] = e.ID
+	s.order = append(s.order, e.ID)
+	return nil
+}
+
+func insertSorted(list []Candidate, c Candidate) []Candidate {
+	// Replace an existing record for the same (ID, Kind, Segment) if
+	// the new level is better.
+	for i, old := range list {
+		if old.ID == c.ID && old.Kind == c.Kind && old.Segment == c.Segment {
+			if c.Level <= old.Level {
+				return list
+			}
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	pos := sort.Search(len(list), func(i int) bool { return list[i].Level < c.Level })
+	list = append(list, Candidate{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}
+
+// InsertPrecomputed bulk-loads candidate records for an already indexed
+// model, bypassing pairwise analysis. It serves two purposes: importing
+// designer annotations (§5.5) and populating index-structure benchmarks
+// at 100K-record scale, where per-record sorted insertion would be
+// quadratic. Records are sorted descending and replace the existing list
+// merged with it.
+func (s *SemanticIndex) InsertPrecomputed(refID string, cands []Candidate) error {
+	rec, ok := s.entries[refID]
+	if !ok {
+		return fmt.Errorf("index: model %q is not indexed", refID)
+	}
+	merged := append(append([]Candidate(nil), rec.candidates...), cands...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Level > merged[j].Level })
+	rec.candidates = merged
+	return nil
+}
+
+// Lookup returns, in descending level order, all candidates of the model
+// identified by refID whose equivalence level meets the threshold.
+func (s *SemanticIndex) Lookup(refID string, threshold float64) ([]Candidate, error) {
+	rec, ok := s.entries[refID]
+	if !ok {
+		return nil, fmt.Errorf("index: model %q is not indexed", refID)
+	}
+	// The list is sorted descending: binary-search the cutoff and copy
+	// the matching prefix in one allocation.
+	cut := sort.Search(len(rec.candidates), func(i int) bool {
+		return rec.candidates[i].Level < threshold
+	})
+	if cut == 0 {
+		return nil, nil
+	}
+	return append([]Candidate(nil), rec.candidates[:cut]...), nil
+}
+
+// LookupByFingerprint resolves a model fingerprint to its indexed ID —
+// the paper's key calculation on query submission.
+func (s *SemanticIndex) LookupByFingerprint(fp string) (string, bool) {
+	id, ok := s.byFP[fp]
+	return id, ok
+}
+
+// TopK returns the refID's K best candidates regardless of threshold.
+func (s *SemanticIndex) TopK(refID string, k int) ([]Candidate, error) {
+	rec, ok := s.entries[refID]
+	if !ok {
+		return nil, fmt.Errorf("index: model %q is not indexed", refID)
+	}
+	if k > len(rec.candidates) {
+		k = len(rec.candidates)
+	}
+	return append([]Candidate(nil), rec.candidates[:k]...), nil
+}
+
+// MemoryBytes estimates the in-memory footprint of the semantic index:
+// fingerprints, candidate records, and the measured-diff maps. Models
+// themselves live in the repository, not here (§5.5, persistence).
+func (s *SemanticIndex) MemoryBytes() int64 {
+	var total int64
+	for id, rec := range s.entries {
+		total += int64(len(id)) + int64(len(rec.fingerprint)) + 48
+		for _, c := range rec.candidates {
+			total += int64(len(c.ID)+len(c.DonorID)+len(c.Segment)) + 40
+		}
+		total += int64(len(rec.measured)) * 56
+	}
+	return total
+}

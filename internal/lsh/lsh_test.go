@@ -1,0 +1,216 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sommelier/internal/tensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	idx, err := New(Config{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 0 {
+		t.Fatal("new index not empty")
+	}
+}
+
+func TestInsertQueryExactMatch(t *testing.T) {
+	idx, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert("a", []float64{1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := idx.Query([]float64{1, 0, 0}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].ID != "a" || ms[0].Distance > 1e-12 {
+		t.Fatalf("exact query = %+v", ms)
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	idx, _ := New(DefaultConfig(3))
+	if err := idx.Insert("a", []float64{1, 2}); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+	if _, err := idx.Query([]float64{1}, 0.5); err == nil {
+		t.Fatal("expected query dim mismatch error")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	idx, _ := New(DefaultConfig(2))
+	idx.Insert("a", []float64{1, 0})
+	idx.Insert("a", []float64{0, 1})
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d after replace", idx.Len())
+	}
+	v, ok := idx.Lookup("a")
+	if !ok || v[1] != 1 {
+		t.Fatalf("Lookup after replace = %v", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	idx, _ := New(DefaultConfig(2))
+	idx.Insert("a", []float64{1, 0})
+	idx.Insert("b", []float64{0, 1})
+	idx.Remove("a")
+	idx.Remove("ghost") // no-op
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	ms, _ := idx.QueryExact([]float64{1, 0}, 2)
+	for _, m := range ms {
+		if m.ID == "a" {
+			t.Fatal("removed id still returned")
+		}
+	}
+}
+
+func TestQuerySortedByDistance(t *testing.T) {
+	idx, _ := New(DefaultConfig(2))
+	idx.Insert("near", []float64{1, 0.05})
+	idx.Insert("far", []float64{0.6, 0.8})
+	ms, err := idx.QueryExact([]float64{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].ID != "near" {
+		t.Fatalf("ordering wrong: %+v", ms)
+	}
+	if ms[0].Distance > ms[1].Distance {
+		t.Fatal("not sorted ascending")
+	}
+}
+
+func TestQueryRecallOnClusters(t *testing.T) {
+	// Vectors near the query direction must be found with high recall;
+	// orthogonal vectors must be excluded by the distance filter.
+	idx, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	near := 0
+	for i := 0; i < 50; i++ {
+		v := []float64{1, 0, 0, 0}
+		for d := range v {
+			v[d] += 0.05 * rng.NormFloat64()
+		}
+		idx.Insert(fmt.Sprintf("near%d", i), v)
+		near++
+	}
+	for i := 0; i < 50; i++ {
+		v := []float64{0, 0, 1, 0}
+		for d := range v {
+			v[d] += 0.05 * rng.NormFloat64()
+		}
+		idx.Insert(fmt.Sprintf("far%d", i), v)
+	}
+	ms, err := idx.Query([]float64{1, 0, 0, 0}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, m := range ms {
+		if m.Distance > 0.05 {
+			t.Fatalf("distance filter leaked %+v", m)
+		}
+		found++
+	}
+	if float64(found) < 0.8*float64(near) {
+		t.Fatalf("recall too low: %d of %d near vectors", found, near)
+	}
+}
+
+func TestQueryExactMatchesQuerySuperset(t *testing.T) {
+	idx, _ := New(DefaultConfig(3))
+	rng := tensor.NewRNG(7)
+	for i := 0; i < 200; i++ {
+		v := make([]float64, 3)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		idx.Insert(fmt.Sprintf("v%d", i), v)
+	}
+	q := []float64{0.5, 0.5, 0}
+	approx, _ := idx.Query(q, 0.1)
+	exact, _ := idx.QueryExact(q, 0.1)
+	if len(approx) > len(exact) {
+		t.Fatalf("LSH returned more than exact scan: %d vs %d", len(approx), len(exact))
+	}
+	exactIDs := make(map[string]bool, len(exact))
+	for _, m := range exact {
+		exactIDs[m.ID] = true
+	}
+	for _, m := range approx {
+		if !exactIDs[m.ID] {
+			t.Fatalf("LSH returned %q not in exact result", m.ID)
+		}
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	idx, _ := New(DefaultConfig(3))
+	base := idx.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		idx.Insert(fmt.Sprintf("v%d", i), []float64{float64(i), 1, 2})
+	}
+	if idx.MemoryBytes() <= base {
+		t.Fatal("memory estimate did not grow with inserts")
+	}
+}
+
+// Property: cosine distance of a vector against itself is ~0, and any
+// stored vector can be found by itself at a generous threshold.
+func TestPropertySelfRetrieval(t *testing.T) {
+	idx, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	f := func(raw [3]float64) bool {
+		norm := 0.0
+		for _, v := range raw {
+			// Skip magnitudes whose squared norms overflow float64;
+			// resource vectors are always modest.
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				return true
+			}
+			norm += v * v
+		}
+		if norm < 1e-6 {
+			return true
+		}
+		id := fmt.Sprintf("p%d", n)
+		n++
+		if err := idx.Insert(id, raw[:]); err != nil {
+			return false
+		}
+		ms, err := idx.Query(raw[:], 1e-9)
+		if err != nil {
+			return false
+		}
+		for _, m := range ms {
+			if m.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

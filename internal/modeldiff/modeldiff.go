@@ -1,0 +1,112 @@
+// Package modeldiff implements the ModelDiff baseline (Li et al., ISSTA
+// 2021) the paper compares against in Figure 11: a testing-based,
+// intensional DNN similarity metric built on decision distance vectors
+// (DDVs). For a set of probe pairs (a seed input and a perturbed
+// sibling), each model's DDV records how far apart the model's outputs
+// on the pair are; two models are similar when their DDVs point the same
+// way (cosine similarity).
+//
+// The defining weakness the paper highlights — and Figure 11 measures —
+// is that the score depends on which probe dataset is used: there is no
+// generalization bound, so scores can swing ~30% across dataset draws.
+package modeldiff
+
+import (
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+// Config controls DDV construction.
+type Config struct {
+	// Pairs is how many (seed, perturbed) probe pairs form the DDV.
+	Pairs int
+	// PerturbScale is the relative magnitude of the pair perturbation
+	// (ModelDiff uses adversarial steps; Gaussian steps of comparable
+	// norm exercise the same decision-boundary sensitivity).
+	PerturbScale float64
+	// Seed selects the probe dataset; different seeds emulate the
+	// different dataset draws of Figure 11's error bars.
+	Seed uint64
+}
+
+func (c Config) defaults() Config {
+	if c.Pairs <= 0 {
+		c.Pairs = 64
+	}
+	if c.PerturbScale <= 0 {
+		c.PerturbScale = 0.3
+	}
+	return c
+}
+
+// DDV computes a model's decision distance vector over cfg.Pairs probe
+// pairs generated from the model's input shape.
+func DDV(m *graph.Model, cfg Config) ([]float64, error) {
+	cfg = cfg.defaults()
+	exec, err := nn.NewExecutor(m)
+	if err != nil {
+		return nil, fmt.Errorf("modeldiff: %w", err)
+	}
+	rng := tensor.NewRNG(cfg.Seed + 0xdd0)
+	out := make([]float64, cfg.Pairs)
+	for i := range out {
+		x := tensor.New(m.InputShape...)
+		rng.FillNormal(x, 0, 1)
+		delta := tensor.New(m.InputShape...)
+		rng.FillNormal(delta, 0, cfg.PerturbScale)
+		x2 := x.Add(delta)
+		ya, err := exec.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		yb, err := exec.Forward(x2)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tensor.L2Distance(ya, yb)
+	}
+	return out, nil
+}
+
+// Similarity returns the ModelDiff similarity between two models: the
+// cosine similarity of their DDVs over the same probe pairs. Both models
+// must share an input shape.
+func Similarity(a, b *graph.Model, cfg Config) (float64, error) {
+	if !a.InputShape.Equal(b.InputShape) {
+		return 0, fmt.Errorf("modeldiff: input shapes %v vs %v", a.InputShape, b.InputShape)
+	}
+	va, err := DDV(a, cfg)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := DDV(b, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.CosineSimilarity(
+		tensor.FromSlice(va, len(va)),
+		tensor.FromSlice(vb, len(vb)),
+	), nil
+}
+
+// SimilarityAcrossDatasets runs Similarity over `draws` different probe
+// datasets and returns all scores — the spread is Figure 11's error bar.
+func SimilarityAcrossDatasets(a, b *graph.Model, cfg Config, draws int) ([]float64, error) {
+	if draws <= 0 {
+		draws = 20
+	}
+	out := make([]float64, draws)
+	for i := range out {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*7919
+		s, err := Similarity(a, b, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}

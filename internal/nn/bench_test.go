@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"testing"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+func benchModel(b *testing.B, width, depth int) *Executor {
+	b.Helper()
+	bl := graph.NewBuilder("bench", graph.TaskClassification, tensor.Shape{width}, tensor.NewRNG(1))
+	for i := 0; i < depth; i++ {
+		bl.Dense(width)
+		bl.ReLU()
+	}
+	bl.Dense(10)
+	bl.Softmax()
+	m, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewExecutor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkForwardDense64x4(b *testing.B) {
+	e := benchModel(b, 64, 4)
+	x := tensor.New(64)
+	tensor.NewRNG(2).FillNormal(x, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardConv(b *testing.B) {
+	bl := graph.NewBuilder("cnn", graph.TaskClassification, tensor.Shape{3, 16, 16}, tensor.NewRNG(3))
+	bl.Conv(8, 3, 1, 1)
+	bl.ReLU()
+	bl.MaxPool(2, 2)
+	bl.Conv(16, 3, 1, 1)
+	bl.ReLU()
+	bl.GlobalAvgPool()
+	bl.Dense(10)
+	bl.Softmax()
+	m, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewExecutor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(3, 16, 16)
+	tensor.NewRNG(4).FillNormal(x, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardCapture(b *testing.B) {
+	e := benchModel(b, 64, 4)
+	x := tensor.New(64)
+	tensor.NewRNG(5).FillNormal(x, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ForwardCapture(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+func mustExec(t testing.TB, m *graph.Model) *Executor {
+	t.Helper()
+	e, err := NewExecutor(m)
+	if err != nil {
+		t.Fatalf("NewExecutor(%s): %v", m.Name, err)
+	}
+	return e
+}
+
+func denseLayer(t testing.TB, w []float64, b []float64, in, out int) *graph.Layer {
+	t.Helper()
+	return &graph.Layer{
+		Name: "d", Op: graph.OpDense, Inputs: []string{"input"},
+		Attrs: graph.Attrs{Units: out},
+		Params: map[string]*tensor.Tensor{
+			"W": tensor.FromSlice(w, out, in),
+			"B": tensor.FromSlice(b, out),
+		},
+	}
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	m := &graph.Model{
+		Name: "dense", Task: graph.TaskRegression, InputShape: tensor.Shape{2},
+		Layers: []*graph.Layer{
+			{Name: "input", Op: graph.OpInput},
+			denseLayer(t, []float64{1, 2, 3, 4}, []float64{0.5, -0.5}, 2, 2),
+		},
+	}
+	e := mustExec(t, m)
+	out, err := e.Forward(tensor.FromSlice([]float64{1, 1}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W·x + b = [1+2+0.5, 3+4-0.5] = [3.5, 6.5]
+	if out.Data()[0] != 3.5 || out.Data()[1] != 6.5 {
+		t.Fatalf("Dense output = %v", out.Data())
+	}
+}
+
+func TestActivations(t *testing.T) {
+	x := tensor.FromSlice([]float64{-2, 0, 3}, 3)
+	relu, _ := Apply(&graph.Layer{Op: graph.OpReLU}, []*tensor.Tensor{x})
+	if relu.Data()[0] != 0 || relu.Data()[2] != 3 {
+		t.Errorf("ReLU = %v", relu.Data())
+	}
+	leaky, _ := Apply(&graph.Layer{Op: graph.OpLeakyReLU, Attrs: graph.Attrs{Alpha: 0.1}}, []*tensor.Tensor{x})
+	if math.Abs(leaky.Data()[0]+0.2) > 1e-12 {
+		t.Errorf("LeakyReLU = %v", leaky.Data())
+	}
+	tanh, _ := Apply(&graph.Layer{Op: graph.OpTanh}, []*tensor.Tensor{x})
+	if math.Abs(tanh.Data()[2]-math.Tanh(3)) > 1e-12 {
+		t.Errorf("Tanh = %v", tanh.Data())
+	}
+	sig, _ := Apply(&graph.Layer{Op: graph.OpSigmoid}, []*tensor.Tensor{x})
+	if math.Abs(sig.Data()[1]-0.5) > 1e-12 {
+		t.Errorf("Sigmoid = %v", sig.Data())
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// A 1x1 conv with identity weights must copy the input channel.
+	b := graph.NewBuilder("conv1", graph.TaskRegression, tensor.Shape{1, 3, 3}, nil)
+	b.Conv(1, 1, 1, 0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Layer("Conv2D_1").Params["W"].Data()[0] = 1
+	e := mustExec(t, m)
+	in := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	out, err := e.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data() {
+		if out.Data()[i] != in.Data()[i] {
+			t.Fatalf("identity conv differs at %d: %v", i, out.Data())
+		}
+	}
+}
+
+func TestConvSumKernel(t *testing.T) {
+	// A 3x3 all-ones kernel with pad 1 computes neighborhood sums.
+	b := graph.NewBuilder("conv3", graph.TaskRegression, tensor.Shape{1, 3, 3}, nil)
+	b.Conv(1, 3, 1, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Layer("Conv2D_1").Params["W"].Fill(1)
+	e := mustExec(t, m)
+	in := tensor.New(1, 3, 3).Fill(1)
+	out, err := e.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center pixel sees all 9 ones; corners see 4.
+	if out.At(0, 1, 1) != 9 {
+		t.Errorf("center = %g, want 9", out.At(0, 1, 1))
+	}
+	if out.At(0, 0, 0) != 4 {
+		t.Errorf("corner = %g, want 4", out.At(0, 0, 0))
+	}
+}
+
+func TestPooling(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	maxl := &graph.Layer{Op: graph.OpMaxPool, Attrs: graph.Attrs{KernelH: 2, KernelW: 2, Stride: 2}}
+	mx, err := Apply(maxl, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.At(0, 0, 0) != 6 || mx.At(0, 1, 1) != 16 {
+		t.Errorf("MaxPool = %v", mx.Data())
+	}
+	meanl := &graph.Layer{Op: graph.OpMeanPool, Attrs: graph.Attrs{KernelH: 2, KernelW: 2, Stride: 2}}
+	mn, err := Apply(meanl, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.At(0, 0, 0) != 3.5 {
+		t.Errorf("MeanPool = %v", mn.Data())
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, 3, 10, 20}, 2, 2)
+	out, err := Apply(&graph.Layer{Op: graph.OpGlobalAvgPool}, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 2 || out.Data()[1] != 15 {
+		t.Errorf("GlobalAvgPool = %v", out.Data())
+	}
+}
+
+func TestBatchNormKnown(t *testing.T) {
+	l := &graph.Layer{
+		Op: graph.OpBatchNorm, Attrs: graph.Attrs{Eps: 0},
+		Params: map[string]*tensor.Tensor{
+			"Gamma": tensor.FromSlice([]float64{2}, 1),
+			"Beta":  tensor.FromSlice([]float64{1}, 1),
+			"Mean":  tensor.FromSlice([]float64{3}, 1),
+			"Var":   tensor.FromSlice([]float64{4}, 1),
+		},
+	}
+	in := tensor.FromSlice([]float64{5}, 1)
+	out, err := Apply(l, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (5-3)/2 * 2 + 1 = 3 (up to the default epsilon the layer applies)
+	if math.Abs(out.Data()[0]-3) > 1e-4 {
+		t.Fatalf("BatchNorm = %v", out.Data())
+	}
+}
+
+func TestLayerNormZeroMeanUnitVar(t *testing.T) {
+	l := &graph.Layer{Op: graph.OpLayerNorm, Attrs: graph.Attrs{Eps: 1e-12}}
+	in := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 6)
+	out, err := Apply(l, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Mean()) > 1e-9 {
+		t.Fatalf("LayerNorm mean = %g", out.Mean())
+	}
+	var sq float64
+	for _, v := range out.Data() {
+		sq += v * v
+	}
+	if math.Abs(sq/6-1) > 1e-6 {
+		t.Fatalf("LayerNorm variance = %g", sq/6)
+	}
+}
+
+func TestEmbeddingLookupAndClamp(t *testing.T) {
+	l := &graph.Layer{
+		Op: graph.OpEmbedding, Attrs: graph.Attrs{VocabSize: 3, EmbedDim: 2},
+		Params: map[string]*tensor.Tensor{
+			"W": tensor.FromSlice([]float64{0, 1, 10, 11, 20, 21}, 3, 2),
+		},
+	}
+	in := tensor.FromSlice([]float64{2, 0, 99}, 3)
+	out, err := Apply(l, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != 20 || out.At(1, 1) != 1 {
+		t.Fatalf("Embedding = %v", out.Data())
+	}
+	// Out-of-vocab ids clamp to the last row.
+	if out.At(2, 0) != 20 {
+		t.Fatalf("OOV should clamp: %v", out.Data())
+	}
+}
+
+func TestMultiSourceOps(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2}, 2)
+	b := tensor.FromSlice([]float64{3, 4}, 2)
+	add, _ := Apply(&graph.Layer{Op: graph.OpAdd}, []*tensor.Tensor{a, b})
+	if add.Data()[0] != 4 || add.Data()[1] != 6 {
+		t.Errorf("Add = %v", add.Data())
+	}
+	mul, _ := Apply(&graph.Layer{Op: graph.OpMul}, []*tensor.Tensor{a, b})
+	if mul.Data()[1] != 8 {
+		t.Errorf("Mul = %v", mul.Data())
+	}
+	cat, err := Apply(&graph.Layer{Op: graph.OpConcat}, []*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumElements() != 4 || cat.Data()[2] != 3 {
+		t.Errorf("Concat = %v", cat.Data())
+	}
+}
+
+func TestForwardCaptureHasAllLayers(t *testing.T) {
+	b := graph.NewBuilder("cap", graph.TaskClassification, tensor.Shape{4}, tensor.NewRNG(5))
+	b.Dense(8)
+	b.ReLU()
+	b.Dense(3)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExec(t, m)
+	acts, err := e.ForwardCapture(tensor.New(4).Fill(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != len(m.Layers) {
+		t.Fatalf("captured %d activations for %d layers", len(acts), len(m.Layers))
+	}
+}
+
+func TestForwardFromPinsActivations(t *testing.T) {
+	b := graph.NewBuilder("pin", graph.TaskRegression, tensor.Shape{4}, tensor.NewRNG(6))
+	d1 := b.Dense(4)
+	b.ReLU()
+	b.Dense(2)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExec(t, m)
+	sample := tensor.New(4).Fill(1)
+	base, err := e.Forward(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinning the first dense output to zeros must change the result
+	// (bias-only propagation).
+	pinned := map[string]*tensor.Tensor{d1: tensor.New(4)}
+	alt, err := e.ForwardFrom(sample, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Distance(base, alt) == 0 {
+		t.Fatal("pinned activations had no effect")
+	}
+	// Pinning to the true activation must reproduce the base output.
+	acts, _ := e.ForwardCapture(sample)
+	same, err := e.ForwardFrom(sample, map[string]*tensor.Tensor{d1: acts[d1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Distance(base, same) > 1e-12 {
+		t.Fatal("pinning true activation changed the output")
+	}
+}
+
+func TestForwardRejectsWrongShape(t *testing.T) {
+	b := graph.NewBuilder("ws", graph.TaskRegression, tensor.Shape{4}, nil)
+	b.Dense(2)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExec(t, m)
+	if _, err := e.Forward(tensor.New(5)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestPreprocessorApplied(t *testing.T) {
+	RegisterPreprocessor("halve_test", func(raw *tensor.Tensor) *tensor.Tensor {
+		return raw.Scale(0.5)
+	})
+	b := graph.NewBuilder("pp", graph.TaskRegression, tensor.Shape{2}, nil)
+	b.Add(graph.OpIdentity, graph.Attrs{})
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Preprocessor = "halve_test"
+	e := mustExec(t, m)
+	out, err := e.Forward(tensor.FromSlice([]float64{4, 8}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 2 || out.Data()[1] != 4 {
+		t.Fatalf("preprocessor not applied: %v", out.Data())
+	}
+	if _, ok := LookupPreprocessor("halve_test"); !ok {
+		t.Fatal("LookupPreprocessor failed")
+	}
+}
+
+func TestAgreementRatioSelfIsOne(t *testing.T) {
+	b := graph.NewBuilder("agree", graph.TaskClassification, tensor.Shape{6}, tensor.NewRNG(9))
+	b.Dense(10)
+	b.ReLU()
+	b.Dense(4)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExec(t, m)
+	rng := tensor.NewRNG(10)
+	samples := make([]*tensor.Tensor, 20)
+	for i := range samples {
+		s := tensor.New(6)
+		rng.FillNormal(s, 0, 1)
+		samples[i] = s
+	}
+	r, err := AgreementRatio(e, e, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("self agreement = %g", r)
+	}
+}
+
+// Property: the executor is deterministic — same input, same output.
+func TestPropertyForwardDeterministic(t *testing.T) {
+	b := graph.NewBuilder("det", graph.TaskClassification, tensor.Shape{5}, tensor.NewRNG(20))
+	b.Dense(7)
+	b.Tanh()
+	b.Dense(3)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustExec(t, m)
+	f := func(xs [5]float64) bool {
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		in := tensor.FromSlice(xs[:], 5)
+		a, err1 := e.Forward(in)
+		b2, err2 := e.Forward(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tensor.L2Distance(a, b2) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReLU and pooling never increase the L2 norm of differences —
+// the non-linear operator bound of §4.2 for these operators.
+func TestPropertyNonExpansiveOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		x := tensor.New(1, 4, 4)
+		y := tensor.New(1, 4, 4)
+		rng.FillNormal(x, 0, 2)
+		rng.FillNormal(y, 0, 2)
+		inDiff := tensor.L2Distance(x, y)
+		relu := &graph.Layer{Op: graph.OpReLU}
+		rx, _ := Apply(relu, []*tensor.Tensor{x})
+		ry, _ := Apply(relu, []*tensor.Tensor{y})
+		if tensor.L2Distance(rx, ry) > inDiff+1e-9 {
+			return false
+		}
+		pool := &graph.Layer{Op: graph.OpMeanPool, Attrs: graph.Attrs{KernelH: 2, KernelW: 2, Stride: 2}}
+		px, _ := Apply(pool, []*tensor.Tensor{x})
+		py, _ := Apply(pool, []*tensor.Tensor{y})
+		return tensor.L2Distance(px, py) <= inDiff+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

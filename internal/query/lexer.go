@@ -1,0 +1,113 @@
+// Package query implements Sommelier's DNN model query language (Figure
+// 7 of the paper): a lexer, parser, typed AST, and validation for
+// statements such as
+//
+//	SELECT CORR "resnet50@1" WITHIN 95%
+//	ON memory <= 80% AND flops <= 50% AND latency <= 30ms
+//	EXEC batch=8 device=gpu
+//	PICK most_similar LIMIT 3
+//
+// Queries name a reference model (or a task category for a default
+// reference), a functional-equivalence threshold, relative or absolute
+// resource constraints, an optional execution spec, and final selection
+// criteria. The engine in the root package executes parsed queries as a
+// three-stage filter pipeline (§5.4).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPercent // '%'
+	tokOp      // comparison operators
+	tokEquals  // '=' inside exec-spec
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers and keywords are a single
+// token kind; the parser matches keywords case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '"' || c == '\'':
+			quote := input[i]
+			j := i + 1
+			for j < len(input) && input[j] != quote {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c == '%':
+			toks = append(toks, token{kind: tokPercent, text: "%", pos: i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: i})
+			i++
+		case c == '=':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "==", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokEquals, text: "=", pos: i})
+				i++
+			}
+		case unicode.IsDigit(c) || (c == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentRune(c):
+			j := i
+			for j < len(input) && isIdentRune(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) ||
+		strings.ContainsRune("_-@./:", c)
+}

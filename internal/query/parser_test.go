@@ -1,0 +1,197 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFigure6Example(t *testing.T) {
+	// The paper's running example: most interchangeable with ResNet,
+	// 20% less memory, 40% less computation.
+	q, err := Parse(`SELECT CORR "resnet50@1" WITHIN 95% ON memory <= 80% AND flops <= 60% PICK most_similar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Ref != "resnet50@1" {
+		t.Fatalf("Ref = %q", q.Ref)
+	}
+	if q.Threshold != 0.95 {
+		t.Fatalf("Threshold = %g", q.Threshold)
+	}
+	if len(q.Constraints) != 2 {
+		t.Fatalf("Constraints = %+v", q.Constraints)
+	}
+	c := q.Constraints[0]
+	if c.Metric != MetricMemory || c.Op != OpLE || c.Value != 80 || !c.Relative() {
+		t.Fatalf("memory constraint = %+v", c)
+	}
+	if q.Pick != PickMostSimilar {
+		t.Fatalf("Pick = %q", q.Pick)
+	}
+}
+
+func TestParseAbsoluteUnits(t *testing.T) {
+	q, err := Parse(`SELECT CORR m ON memory < 200 MB AND flops < 50 GFLOPS AND latency < 30 ms`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Constraints[0].Unit != UnitMB || q.Constraints[1].Unit != UnitGFLOPs || q.Constraints[2].Unit != UnitMS {
+		t.Fatalf("units = %+v", q.Constraints)
+	}
+	if q.Constraints[2].Op != OpLT || q.Constraints[2].Value != 30 {
+		t.Fatalf("latency constraint = %+v", q.Constraints[2])
+	}
+}
+
+func TestParseTaskDefaultReference(t *testing.T) {
+	q, err := Parse(`SELECT TASK vision WITHIN 90% PICK smallest LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Task != "vision" || q.Ref != "" {
+		t.Fatalf("task = %q ref = %q", q.Task, q.Ref)
+	}
+	if q.Pick != PickSmallest || q.Limit != 5 {
+		t.Fatalf("pick/limit = %q/%d", q.Pick, q.Limit)
+	}
+	if q.Threshold != 0.9 {
+		t.Fatalf("threshold = %g", q.Threshold)
+	}
+}
+
+func TestParseExecSpec(t *testing.T) {
+	q, err := Parse(`SELECT CORR m EXEC batch=8 device=gpu mode=throughput`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Exec["batch"] != "8" || q.Exec["device"] != "gpu" || q.Exec["mode"] != "throughput" {
+		t.Fatalf("exec = %+v", q.Exec)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	q, err := Parse(`SELECT CORR base`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Threshold != 0.95 || q.Pick != PickMostSimilar || q.Limit != 0 {
+		t.Fatalf("defaults = %+v", q)
+	}
+}
+
+func TestParseModelNoiseWord(t *testing.T) {
+	if _, err := Parse(`SELECT model CORR base`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select corr base within 80% on memory <= 50% pick fastest`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Ref != "base" || q.Pick != PickFastest {
+		t.Fatalf("parsed = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{``, "expected SELECT"},
+		{`SELECT`, "missing CORR or TASK"},
+		{`SELECT ON memory < 1`, "missing CORR or TASK"},
+		{`SELECT CORR`, "expected reference model"},
+		{`SELECT CORR m WITHIN banana`, "expected a number"},
+		{`SELECT CORR m WITHIN 150%`, "outside [0,1]"},
+		{`SELECT CORR m ON memory memory`, "expected a comparison"},
+		{`SELECT CORR m ON weight < 5`, "unknown metric"},
+		{`SELECT CORR m ON memory < 5 AND memory < 6`, "constrained twice"},
+		{`SELECT CORR m PICK banana`, "unknown PICK"},
+		{`SELECT CORR m LIMIT x`, "expected LIMIT count"},
+		{`SELECT CORR m ON latency < 5 GB`, "not valid for metric"},
+		{`SELECT CORR "unterminated`, "unterminated string"},
+		{`SELECT CORR m $$$`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %v, want %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestConstraintUnitValidation(t *testing.T) {
+	if _, err := Parse(`SELECT CORR m ON flops < 5 MB`); err == nil {
+		t.Fatal("flops in MB should be rejected")
+	}
+	if _, err := Parse(`SELECT CORR m ON memory < 5 GB`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	in := `SELECT CORR "resnet50@1" WITHIN 95% ON memory <= 80% AND latency < 30 ms EXEC batch=4 PICK smallest LIMIT 2`
+	q, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", q.String(), err)
+	}
+	if q2.Ref != q.Ref || q2.Threshold != q.Threshold || len(q2.Constraints) != len(q.Constraints) ||
+		q2.Pick != q.Pick || q2.Limit != q.Limit || q2.Exec["batch"] != "4" {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", q, q2)
+	}
+}
+
+// Property: String() of a parsed query always re-parses to an equivalent
+// query for a generated family of inputs.
+func TestPropertyRoundTrip(t *testing.T) {
+	metrics := []string{"memory", "flops", "latency"}
+	picks := []string{"most_similar", "smallest", "fastest", "cheapest", "all"}
+	f := func(thr uint8, mi, pi uint8, val uint16, lim uint8) bool {
+		threshold := float64(thr % 101) // 0..100
+		metric := metrics[int(mi)%len(metrics)]
+		pick := picks[int(pi)%len(picks)]
+		in := `SELECT CORR base WITHIN ` + itoa(int(threshold)) + `% ON ` +
+			metric + ` <= ` + itoa(int(val%1000)) + `% PICK ` + pick
+		if lim%2 == 0 {
+			in += ` LIMIT ` + itoa(int(lim))
+		}
+		q, err := Parse(in)
+		if err != nil {
+			return false
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return q2.Threshold == q.Threshold && q2.Pick == q.Pick && q2.Limit == q.Limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

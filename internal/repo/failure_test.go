@@ -1,0 +1,103 @@
+package repo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure injection: a repository must degrade loudly, not silently,
+// when its on-disk state is damaged.
+
+func TestOpenRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken@1.somx"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("expected error opening a repository with a corrupt model file")
+	}
+}
+
+func TestOpenRejectsTruncatedModel(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model(t, "trunc", "1", 3)
+	id, err := r.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id+".somx")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("expected error for truncated model file")
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("foreign files counted as models: %d", r.Len())
+	}
+}
+
+func TestLoadAfterExternalDeletion(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Publish(model(t, "vanish", "1", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an operator deleting the file behind the repository's
+	// back, then dropping the cache via a fresh handle.
+	if err := os.Remove(filepath.Join(dir, id+".somx")); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Load(id); err == nil {
+		t.Fatal("expected not-found after external deletion")
+	}
+}
+
+func TestOpenUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	ro := filepath.Join(dir, "ro")
+	if err := os.MkdirAll(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(ro)
+	if err != nil {
+		t.Fatal(err) // opening read-only is fine
+	}
+	if _, err := r.Publish(model(t, "nope", "1", 7)); err == nil {
+		t.Fatal("expected publish error on read-only directory")
+	}
+}

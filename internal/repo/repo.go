@@ -1,0 +1,219 @@
+// Package repo implements the bare-bone DNN model repository Sommelier
+// interposes on (§2.1): publish-by-name, load-by-URL, nothing else. The
+// store is either directory-backed (one SOMX file per model, the TF-Hub
+// stand-in) or purely in-memory for experiments that index thousands of
+// models.
+package repo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sommelier/internal/graph"
+)
+
+// Metadata is the minimal record the bare-bone repository keeps per
+// model: identity and free-form annotations. Deliberately no accuracy or
+// resource data — providing those is Sommelier's job.
+type Metadata struct {
+	ID      string
+	Name    string
+	Version string
+	Task    graph.TaskKind
+	// Series groups models derived from a common basis (BiT,
+	// EfficientNet, ...), mirroring TF-Hub collections.
+	Series string
+	// Annotations carries optional designer-provided notes (§5.5).
+	Annotations map[string]string
+}
+
+// Repository stores models. All methods are safe for concurrent use.
+type Repository struct {
+	dir string // empty for in-memory repositories
+
+	mu     sync.RWMutex
+	meta   map[string]Metadata
+	models map[string]*graph.Model // cache; authoritative for in-memory mode
+	order  []string
+}
+
+// NewInMemory returns a repository that keeps models in memory only.
+func NewInMemory() *Repository {
+	return &Repository{
+		meta:   make(map[string]Metadata),
+		models: make(map[string]*graph.Model),
+	}
+}
+
+// Open returns a directory-backed repository, loading metadata for any
+// SOMX files already present. The directory is created if missing.
+func Open(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	r := NewInMemory()
+	r.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".somx") {
+			continue
+		}
+		id := strings.TrimSuffix(e.Name(), ".somx")
+		m, err := r.readFile(id)
+		if err != nil {
+			return nil, fmt.Errorf("repo: loading %s: %w", e.Name(), err)
+		}
+		r.meta[id] = metadataOf(id, m)
+		r.models[id] = m
+		r.order = append(r.order, id)
+	}
+	sort.Strings(r.order)
+	return r, nil
+}
+
+func metadataOf(id string, m *graph.Model) Metadata {
+	md := Metadata{ID: id, Name: m.Name, Version: m.Version, Task: m.Task}
+	if m.Metadata != nil {
+		md.Series = m.Metadata["series"]
+		md.Annotations = m.Metadata
+	}
+	return md
+}
+
+// Publish stores a model and returns its repository ID (name@version).
+// Publishing an existing ID overwrites it, matching hub semantics of
+// re-pushing a version.
+func (r *Repository) Publish(m *graph.Model) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", fmt.Errorf("repo: refusing invalid model: %w", err)
+	}
+	id := m.Name + "@" + m.Version
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dir != "" {
+		path := r.path(id)
+		f, err := os.Create(path)
+		if err != nil {
+			return "", fmt.Errorf("repo: %w", err)
+		}
+		if err := graph.Encode(f, m); err != nil {
+			f.Close()
+			return "", fmt.Errorf("repo: encoding %s: %w", id, err)
+		}
+		if err := f.Close(); err != nil {
+			return "", fmt.Errorf("repo: %w", err)
+		}
+	}
+	if _, exists := r.meta[id]; !exists {
+		r.order = append(r.order, id)
+	}
+	r.meta[id] = metadataOf(id, m)
+	r.models[id] = m
+	return id, nil
+}
+
+// Load returns the model stored under id. Directory-backed repositories
+// serve from the in-memory cache, falling back to disk.
+func (r *Repository) Load(id string) (*graph.Model, error) {
+	r.mu.RLock()
+	m, ok := r.models[id]
+	r.mu.RUnlock()
+	if ok {
+		return m, nil
+	}
+	if r.dir == "" {
+		return nil, fmt.Errorf("repo: model %q not found", id)
+	}
+	m, err := r.readFile(id)
+	if err != nil {
+		return nil, fmt.Errorf("repo: model %q: %w", id, err)
+	}
+	r.mu.Lock()
+	r.models[id] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// LoadByURL resolves a bare-bone repository URL (somx://<id>) — the
+// primitive load-by-exact-URL interface existing hubs expose.
+func (r *Repository) LoadByURL(url string) (*graph.Model, error) {
+	const scheme = "somx://"
+	if !strings.HasPrefix(url, scheme) {
+		return nil, fmt.Errorf("repo: unsupported URL %q", url)
+	}
+	return r.Load(strings.TrimPrefix(url, scheme))
+}
+
+// URL returns the bare-bone URL for a stored model ID.
+func (r *Repository) URL(id string) string { return "somx://" + id }
+
+// Delete removes a model. Unknown IDs are a no-op.
+func (r *Repository) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.meta[id]; !ok {
+		return nil
+	}
+	delete(r.meta, id)
+	delete(r.models, id)
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if r.dir != "" {
+		if err := os.Remove(r.path(id)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("repo: %w", err)
+		}
+	}
+	return nil
+}
+
+// List returns metadata for every stored model in publication order.
+func (r *Repository) List() []Metadata {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Metadata, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.meta[id])
+	}
+	return out
+}
+
+// Metadata returns the record for one model.
+func (r *Repository) Metadata(id string) (Metadata, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	md, ok := r.meta[id]
+	return md, ok
+}
+
+// Len returns the number of stored models.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.meta)
+}
+
+func (r *Repository) path(id string) string {
+	// IDs contain '@'; keep them but sanitize path separators.
+	safe := strings.ReplaceAll(id, string(filepath.Separator), "_")
+	return filepath.Join(r.dir, safe+".somx")
+}
+
+func (r *Repository) readFile(id string) (*graph.Model, error) {
+	f, err := os.Open(r.path(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Decode(f)
+}

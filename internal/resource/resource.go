@@ -1,0 +1,265 @@
+// Package resource computes hardware-independent resource profiles for
+// models (§5.3 of the paper): FLOPs as the time-complexity proxy, memory
+// (parameters plus peak intermediate activations) as the space-complexity
+// proxy, and a per-operator latency table combined with a critical-path
+// estimate for platform-aware latency.
+package resource
+
+import (
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Profile is a model's resource vector. All fields are per-sample.
+type Profile struct {
+	// FLOPs counts multiply-accumulate operations (×2) across all
+	// compute-intensive operators.
+	FLOPs int64
+	// MemoryBytes is the parameter storage plus the peak simultaneous
+	// intermediate tensor footprint, at 4 bytes per element (models
+	// serve in float32 even though this reproduction computes in
+	// float64).
+	MemoryBytes int64
+	// LatencyMS is the critical-path latency estimate from the
+	// per-operator table, in milliseconds.
+	LatencyMS float64
+}
+
+// Vector returns the profile as (memoryMB, GFLOPs, latencyMS) — the
+// multi-dimensional lookup key of §5.4.
+func (p Profile) Vector() []float64 {
+	return []float64{
+		float64(p.MemoryBytes) / (1 << 20),
+		float64(p.FLOPs) / 1e9,
+		p.LatencyMS,
+	}
+}
+
+// RelativeTo returns this profile's usage as fractions of a reference
+// profile, the form queries express budgets in ("80% of ResNet memory").
+func (p Profile) RelativeTo(ref Profile) (memFrac, flopsFrac, latFrac float64) {
+	frac := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return frac(float64(p.MemoryBytes), float64(ref.MemoryBytes)),
+		frac(float64(p.FLOPs), float64(ref.FLOPs)),
+		frac(p.LatencyMS, ref.LatencyMS)
+}
+
+const bytesPerElement = 4
+
+// LatencyTable maps operator kinds to per-element execution cost in
+// nanoseconds, the Paleo-style table of §5.3. Entries are costs per output
+// element except for linear operators, which are per FLOP.
+type LatencyTable map[graph.OpKind]float64
+
+// DefaultLatencyTable models a single mid-range accelerator. Absolute
+// values are synthetic; only the relative weights matter for the
+// experiments, which compare models against each other.
+func DefaultLatencyTable() LatencyTable {
+	return LatencyTable{
+		graph.OpDense:         0.00065, // ns per FLOP
+		graph.OpConv2D:        0.00050, // conv kernels vectorize better
+		graph.OpEmbedding:     0.5,     // ns per output element (memory bound)
+		graph.OpReLU:          0.3,
+		graph.OpLeakyReLU:     0.35,
+		graph.OpTanh:          1.2,
+		graph.OpSigmoid:       1.2,
+		graph.OpSoftmax:       1.5,
+		graph.OpMaxPool:       0.8,
+		graph.OpMeanPool:      0.8,
+		graph.OpGlobalAvgPool: 0.6,
+		graph.OpBatchNorm:     0.7,
+		graph.OpLayerNorm:     0.9,
+		graph.OpAdd:           0.3,
+		graph.OpMul:           0.3,
+		graph.OpConcat:        0.2,
+		graph.OpFlatten:       0.0,
+		graph.OpDropout:       0.0,
+		graph.OpIdentity:      0.0,
+		graph.OpInput:         0.0,
+	}
+}
+
+// ExecSetting captures the run-time execution configuration that perturbs
+// a model's measured footprint (Figure 12(a)): batch size, activation
+// precision, and the runtime's fixed overhead fraction.
+type ExecSetting struct {
+	Name string
+	// BatchSize multiplies activation memory.
+	BatchSize int
+	// ActivationBytes is bytes per activation element (2 = fp16, 4 =
+	// fp32).
+	ActivationBytes int
+	// RuntimeOverhead is a fractional memory overhead added by the
+	// runtime (fragmentation, workspace buffers).
+	RuntimeOverhead float64
+}
+
+// DefaultSetting is a batch-1 fp32 runtime with 5% overhead.
+func DefaultSetting() ExecSetting {
+	return ExecSetting{Name: "default", BatchSize: 1, ActivationBytes: 4, RuntimeOverhead: 0.05}
+}
+
+// OpFLOPs returns the FLOP count of a single layer given its input shapes.
+func OpFLOPs(l *graph.Layer, in []tensor.Shape) (int64, error) {
+	out, err := outShape(l, in)
+	if err != nil {
+		return 0, err
+	}
+	switch l.Op {
+	case graph.OpDense:
+		// 2 * units * inDim MACs plus bias adds.
+		return 2*int64(l.Attrs.Units)*int64(in[0][0]) + int64(l.Attrs.Units), nil
+	case graph.OpConv2D:
+		inC := int64(in[0][0])
+		k := int64(l.Attrs.KernelH) * int64(l.Attrs.KernelW)
+		perOut := 2 * inC * k
+		return perOut*int64(out.NumElements()) + int64(out.NumElements()), nil
+	case graph.OpEmbedding:
+		return int64(out.NumElements()), nil // gather, ~1 op per element
+	case graph.OpMaxPool, graph.OpMeanPool:
+		k := int64(l.Attrs.KernelH) * int64(l.Attrs.KernelW)
+		return k * int64(out.NumElements()), nil
+	case graph.OpGlobalAvgPool:
+		return int64(in[0].NumElements()), nil
+	case graph.OpBatchNorm, graph.OpLayerNorm:
+		return 4 * int64(out.NumElements()), nil
+	case graph.OpReLU, graph.OpLeakyReLU, graph.OpIdentity, graph.OpDropout, graph.OpFlatten:
+		return int64(out.NumElements()), nil
+	case graph.OpTanh, graph.OpSigmoid, graph.OpSoftmax:
+		return 4 * int64(out.NumElements()), nil
+	case graph.OpAdd, graph.OpMul:
+		return int64(len(in)-1) * int64(out.NumElements()), nil
+	case graph.OpConcat:
+		return int64(out.NumElements()), nil
+	case graph.OpInput:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("resource: unknown op %s", l.Op)
+	}
+}
+
+func outShape(l *graph.Layer, in []tensor.Shape) (tensor.Shape, error) {
+	if l.Op == graph.OpInput {
+		if len(in) == 1 {
+			return in[0], nil
+		}
+		return nil, fmt.Errorf("resource: input layer needs its shape supplied")
+	}
+	return graph.InferShape(l.Op, l.Attrs, in)
+}
+
+// Profiler computes resource profiles. It is safe for concurrent use.
+type Profiler struct {
+	table LatencyTable
+}
+
+// NewProfiler returns a profiler using the given latency table, or the
+// default table when nil.
+func NewProfiler(table LatencyTable) *Profiler {
+	if table == nil {
+		table = DefaultLatencyTable()
+	}
+	return &Profiler{table: table}
+}
+
+// Measure computes the model's profile under the default execution
+// setting.
+func (p *Profiler) Measure(m *graph.Model) (Profile, error) {
+	return p.MeasureWith(m, DefaultSetting())
+}
+
+// MeasureWith computes the model's profile under a specific execution
+// setting.
+func (p *Profiler) MeasureWith(m *graph.Model, setting ExecSetting) (Profile, error) {
+	shapes, err := m.ShapeOf()
+	if err != nil {
+		return Profile{}, fmt.Errorf("resource: %w", err)
+	}
+	order, err := m.TopoSort()
+	if err != nil {
+		return Profile{}, fmt.Errorf("resource: %w", err)
+	}
+	if setting.BatchSize <= 0 {
+		setting.BatchSize = 1
+	}
+	if setting.ActivationBytes <= 0 {
+		setting.ActivationBytes = bytesPerElement
+	}
+
+	var flops int64
+	var paramBytes int64
+	var peakActivation int64
+	// finish[i] is the time at which layer order[i] completes; the
+	// model latency is the completion time of the sink — the longest
+	// path of §5.3.
+	finish := make(map[string]float64, len(order))
+
+	for _, l := range order {
+		in := make([]tensor.Shape, len(l.Inputs))
+		ready := 0.0
+		for i, name := range l.Inputs {
+			in[i] = shapes[name]
+			if finish[name] > ready {
+				ready = finish[name]
+			}
+		}
+		var opIn []tensor.Shape
+		if l.Op == graph.OpInput {
+			opIn = []tensor.Shape{shapes[l.Name]}
+		} else {
+			opIn = in
+		}
+		f, err := OpFLOPs(l, opIn)
+		if err != nil {
+			return Profile{}, fmt.Errorf("resource: layer %q: %w", l.Name, err)
+		}
+		flops += f
+		paramBytes += l.ParamCount() * bytesPerElement
+
+		// Simple liveness model: a layer's inputs and output are live
+		// simultaneously while it runs; track the max across layers.
+		live := int64(shapes[l.Name].NumElements())
+		for _, s := range in {
+			live += int64(s.NumElements())
+		}
+		act := live * int64(setting.ActivationBytes) * int64(setting.BatchSize)
+		if act > peakActivation {
+			peakActivation = act
+		}
+
+		finish[l.Name] = ready + p.opLatencyNS(l, f, shapes[l.Name])
+	}
+
+	var latNS float64
+	for _, t := range finish {
+		if t > latNS {
+			latNS = t
+		}
+	}
+	mem := float64(paramBytes+peakActivation) * (1 + setting.RuntimeOverhead)
+	return Profile{
+		FLOPs:       flops,
+		MemoryBytes: int64(mem),
+		LatencyMS:   latNS * float64(setting.BatchSize) / 1e6,
+	}, nil
+}
+
+func (p *Profiler) opLatencyNS(l *graph.Layer, flops int64, out tensor.Shape) float64 {
+	cost, ok := p.table[l.Op]
+	if !ok {
+		cost = 0.5
+	}
+	switch l.Op {
+	case graph.OpDense, graph.OpConv2D:
+		return cost * float64(flops)
+	default:
+		return cost * float64(out.NumElements())
+	}
+}

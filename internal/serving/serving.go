@@ -1,0 +1,287 @@
+// Package serving implements a discrete-event inference-server simulator
+// for the paper's online case study (§7.1, Figure 9(c)): Poisson/bursty
+// request arrivals, FIFO queueing, FLOPs-proportional service times, and
+// four serving configurations — a fixed-model baseline, the ideal
+// scale-out optimization, Sommelier-driven automatic model switching, and
+// scale-out combined with switching.
+//
+// The substitution from real GPU serving is documented in DESIGN.md: the
+// paper itself notes DNN inference latency is predictable from model
+// size, so a service time proportional to model FLOPs reproduces the
+// queueing dynamics that generate the tail-latency results.
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"sommelier/internal/stats"
+	"sommelier/internal/tensor"
+)
+
+// ModelChoice is one deployable model: an identity plus its service cost
+// and quality level relative to the flagship model.
+type ModelChoice struct {
+	ID string
+	// ServiceMS is the model's single-request service time.
+	ServiceMS float64
+	// Level is its functional-equivalence level to the flagship.
+	Level float64
+}
+
+// Workload describes the arrival process.
+type Workload struct {
+	// Requests is the total number of arrivals to simulate.
+	Requests int
+	// MeanArrivalMS is the mean inter-arrival gap of the Poisson
+	// process during normal operation.
+	MeanArrivalMS float64
+	// Burst injects heavy-load phases: every BurstEvery requests, a
+	// burst of BurstLen requests arrives with gaps divided by
+	// BurstFactor.
+	BurstEvery, BurstLen int
+	BurstFactor          float64
+	Seed                 uint64
+}
+
+// Policy selects which model serves a request given current conditions.
+type Policy interface {
+	// Choose returns the model for a request seeing queueLen requests
+	// ahead of it.
+	Choose(queueLen int) ModelChoice
+	Name() string
+}
+
+// FixedPolicy always serves the flagship model — the paper's baseline
+// where the developer hardcodes one model.
+type FixedPolicy struct{ Model ModelChoice }
+
+func (p FixedPolicy) Choose(int) ModelChoice { return p.Model }
+func (p FixedPolicy) Name() string           { return "fixed" }
+
+// SwitchingPolicy implements Sommelier-driven automatic model switching:
+// under light load it serves the highest-quality model; as the queue
+// grows it re-queries for progressively more compact equivalents. The
+// Candidates list plays the role of the pre-registered equivalents a
+// Sommelier query returns (highest quality first); Thresholds[i] is the
+// queue length at which the policy steps down to Candidates[i+1].
+type SwitchingPolicy struct {
+	Candidates []ModelChoice
+	Thresholds []int
+}
+
+// NewSwitchingPolicy builds a policy stepping through the candidates at
+// evenly spaced queue thresholds (step, 2·step, ...).
+func NewSwitchingPolicy(candidates []ModelChoice, step int) (*SwitchingPolicy, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("serving: switching policy needs candidates")
+	}
+	if step <= 0 {
+		step = 4
+	}
+	thresholds := make([]int, len(candidates)-1)
+	for i := range thresholds {
+		thresholds[i] = (i + 1) * step
+	}
+	return &SwitchingPolicy{Candidates: candidates, Thresholds: thresholds}, nil
+}
+
+func (p *SwitchingPolicy) Choose(queueLen int) ModelChoice {
+	idx := 0
+	for idx < len(p.Thresholds) && queueLen >= p.Thresholds[idx] {
+		idx++
+	}
+	return p.Candidates[idx]
+}
+
+func (p *SwitchingPolicy) Name() string { return "sommelier-switching" }
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	PolicyName string
+	Servers    int
+	// Latencies are per-request end-to-end latencies (queue + service)
+	// in milliseconds, in arrival order.
+	Latencies []float64
+	// ModelShare counts requests served per model ID.
+	ModelShare map[string]int
+	// MeanLevel is the average equivalence level of the serving model
+	// across requests — the accuracy cost of switching.
+	MeanLevel float64
+}
+
+// Summary returns latency percentiles.
+func (r Result) Summary() stats.Summary { return stats.Summarize(r.Latencies) }
+
+// arrivals generates the request arrival times for a workload.
+func arrivals(w Workload) []float64 {
+	rng := tensor.NewRNG(w.Seed + 0xa221)
+	times := make([]float64, w.Requests)
+	t := 0.0
+	burstLeft := 0
+	for i := 0; i < w.Requests; i++ {
+		gap := w.MeanArrivalMS * rng.ExpFloat64()
+		if w.BurstEvery > 0 && i > 0 && i%w.BurstEvery == 0 {
+			burstLeft = w.BurstLen
+		}
+		if burstLeft > 0 && w.BurstFactor > 1 {
+			gap /= w.BurstFactor
+			burstLeft--
+		}
+		t += gap
+		times[i] = t
+	}
+	return times
+}
+
+// Simulate runs the workload against `servers` identical servers using
+// the policy. Requests join the shortest backlog (join-shortest-queue,
+// the paper's even distribution under heavy load); each server is a FIFO
+// processor.
+func Simulate(w Workload, policy Policy, servers int) (Result, error) {
+	if w.Requests <= 0 || w.MeanArrivalMS <= 0 {
+		return Result{}, fmt.Errorf("serving: workload needs positive requests and arrival gap")
+	}
+	if servers <= 0 {
+		servers = 1
+	}
+	arr := arrivals(w)
+	// freeAt[s] is when server s finishes its backlog; queue[s] is the
+	// number of requests assigned and not finished at current arrival.
+	freeAt := make([]float64, servers)
+	type pending struct{ finish float64 }
+	backlog := make([][]pending, servers)
+
+	res := Result{
+		PolicyName: policy.Name(),
+		Servers:    servers,
+		Latencies:  make([]float64, 0, w.Requests),
+		ModelShare: make(map[string]int),
+	}
+	var levelSum float64
+
+	for _, at := range arr {
+		// Retire finished work from backlogs.
+		for s := range backlog {
+			q := backlog[s]
+			for len(q) > 0 && q[0].finish <= at {
+				q = q[1:]
+			}
+			backlog[s] = q
+		}
+		// Join the shortest queue.
+		best := 0
+		for s := 1; s < servers; s++ {
+			if len(backlog[s]) < len(backlog[best]) {
+				best = s
+			}
+		}
+		queueLen := len(backlog[best])
+		choice := policy.Choose(queueLen)
+
+		start := at
+		if freeAt[best] > start {
+			start = freeAt[best]
+		}
+		finish := start + choice.ServiceMS
+		freeAt[best] = finish
+		backlog[best] = append(backlog[best], pending{finish: finish})
+
+		res.Latencies = append(res.Latencies, finish-at)
+		res.ModelShare[choice.ID]++
+		levelSum += choice.Level
+	}
+	res.MeanLevel = levelSum / float64(len(arr))
+	return res, nil
+}
+
+// SimulateRacing models the paper's idealized scale-out under light load:
+// each request runs on both of two servers and the earlier completion
+// counts; under heavy load (any backlog) requests are split evenly. It
+// uses a fixed policy, matching the "system optimizations only" bar.
+func SimulateRacing(w Workload, model ModelChoice) (Result, error) {
+	if w.Requests <= 0 || w.MeanArrivalMS <= 0 {
+		return Result{}, fmt.Errorf("serving: workload needs positive requests and arrival gap")
+	}
+	arr := arrivals(w)
+	freeAt := [2]float64{}
+	res := Result{
+		PolicyName: "scale-out",
+		Servers:    2,
+		Latencies:  make([]float64, 0, w.Requests),
+		ModelShare: map[string]int{model.ID: w.Requests},
+		MeanLevel:  model.Level,
+	}
+	toggle := 0
+	for _, at := range arr {
+		idle0, idle1 := freeAt[0] <= at, freeAt[1] <= at
+		if idle0 && idle1 {
+			// Light load: race both servers; the earlier (identical
+			// service time) wins, both become busy.
+			finish := at + model.ServiceMS
+			freeAt[0], freeAt[1] = finish, finish
+			res.Latencies = append(res.Latencies, model.ServiceMS)
+			continue
+		}
+		// Heavy load: round-robin across both servers.
+		s := toggle
+		toggle = 1 - toggle
+		start := at
+		if freeAt[s] > start {
+			start = freeAt[s]
+		}
+		finish := start + model.ServiceMS
+		freeAt[s] = finish
+		res.Latencies = append(res.Latencies, finish-at)
+	}
+	return res, nil
+}
+
+// Comparison bundles the four Figure 9(c) configurations.
+type Comparison struct {
+	Baseline, ScaleOut, Switching, Combined Result
+}
+
+// RunComparison executes the full Figure 9(c) experiment: the same
+// workload under all four configurations.
+func RunComparison(w Workload, candidates []ModelChoice, switchStep int) (Comparison, error) {
+	if len(candidates) == 0 {
+		return Comparison{}, fmt.Errorf("serving: no candidates")
+	}
+	flagship := candidates[0]
+	var c Comparison
+	var err error
+	if c.Baseline, err = Simulate(w, FixedPolicy{Model: flagship}, 1); err != nil {
+		return c, err
+	}
+	if c.ScaleOut, err = SimulateRacing(w, flagship); err != nil {
+		return c, err
+	}
+	sw, err := NewSwitchingPolicy(candidates, switchStep)
+	if err != nil {
+		return c, err
+	}
+	if c.Switching, err = Simulate(w, sw, 1); err != nil {
+		return c, err
+	}
+	if c.Combined, err = Simulate(w, sw, 2); err != nil {
+		return c, err
+	}
+	c.Combined.PolicyName = "switching+scale-out"
+	return c, nil
+}
+
+// SortedModelShare renders a result's per-model request counts in a
+// stable order for reports.
+func SortedModelShare(r Result) []string {
+	ids := make([]string, 0, len(r.ModelShare))
+	for id := range r.ModelShare {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = fmt.Sprintf("%s:%d", id, r.ModelShare[id])
+	}
+	return out
+}

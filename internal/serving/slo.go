@@ -1,0 +1,81 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SLOPolicy picks, per request, the highest-quality model whose
+// *predicted completion time* (queue drain plus its own service time)
+// still meets a latency objective — the "desirable accuracy" plus
+// run-time-conditions query of §7.1 expressed as a deadline. When even
+// the cheapest model would miss the SLO, the cheapest is served (degrade
+// gracefully rather than give up).
+//
+// The queue-drain prediction assumes pending requests cost the current
+// model's service time — exactly the predictability argument the paper
+// makes for DNN inference ("the execution time of DNN inference is
+// inherently predictable").
+type SLOPolicy struct {
+	// Candidates ordered by descending quality (level).
+	Candidates []ModelChoice
+	// TargetMS is the per-request latency objective.
+	TargetMS float64
+
+	current ModelChoice
+	started bool
+}
+
+// NewSLOPolicy sorts the candidates by descending level and returns the
+// policy.
+func NewSLOPolicy(candidates []ModelChoice, targetMS float64) (*SLOPolicy, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("serving: SLO policy needs candidates")
+	}
+	if targetMS <= 0 {
+		return nil, fmt.Errorf("serving: SLO target must be positive")
+	}
+	cs := append([]ModelChoice(nil), candidates...)
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Level > cs[j].Level })
+	return &SLOPolicy{Candidates: cs, TargetMS: targetMS, current: cs[0]}, nil
+}
+
+// Choose implements Policy.
+func (p *SLOPolicy) Choose(queueLen int) ModelChoice {
+	if !p.started {
+		p.started = true
+	}
+	drain := float64(queueLen) * p.current.ServiceMS
+	for _, c := range p.Candidates {
+		if drain+c.ServiceMS <= p.TargetMS {
+			p.current = c
+			return c
+		}
+	}
+	// Nothing meets the SLO: serve the cheapest to recover fastest.
+	cheapest := p.Candidates[0]
+	for _, c := range p.Candidates[1:] {
+		if c.ServiceMS < cheapest.ServiceMS {
+			cheapest = c
+		}
+	}
+	p.current = cheapest
+	return cheapest
+}
+
+// Name implements Policy.
+func (p *SLOPolicy) Name() string { return "slo-driven" }
+
+// SLOAttainment returns the fraction of latencies meeting the target.
+func SLOAttainment(latencies []float64, targetMS float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	met := 0
+	for _, l := range latencies {
+		if l <= targetMS {
+			met++
+		}
+	}
+	return float64(met) / float64(len(latencies))
+}

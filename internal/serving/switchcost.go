@@ -1,0 +1,102 @@
+package serving
+
+import "fmt"
+
+// The paper's footnote 1 observes that the GPU-memory swap incurred when
+// switching models "can be mitigated by switching models in the
+// background". This file models both sides of that remark: a switch
+// penalty added whenever the serving model changes, and the two
+// mitigations an operator has — hysteresis (switch less often) and
+// background preloading (hide the swap off the critical path).
+
+// SwitchCostPolicy wraps a policy and accounts for model-swap overhead.
+type SwitchCostPolicy struct {
+	// Inner chooses the desired model for the current conditions.
+	Inner Policy
+	// SwapMS is the one-time penalty for serving a different model than
+	// the previous request used (loading weights into device memory).
+	SwapMS float64
+	// Background hides the swap off the critical path (the paper's
+	// mitigation): the penalized request is served by the old model
+	// while the new one loads, so no request pays SwapMS, but the
+	// switch takes effect one request late.
+	Background bool
+	// Hysteresis requires the inner policy to pick the same new model
+	// this many consecutive times before the switch happens, damping
+	// flapping around a queue threshold. Zero switches immediately.
+	Hysteresis int
+
+	current   ModelChoice
+	candidate string
+	streak    int
+	started   bool
+	// pendingSwap carries the swap penalty into the next request's
+	// service time for foreground swaps.
+	pendingSwap float64
+}
+
+// NewSwitchCostPolicy wraps inner with swap accounting.
+func NewSwitchCostPolicy(inner Policy, swapMS float64, background bool, hysteresis int) (*SwitchCostPolicy, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("serving: switch-cost policy needs an inner policy")
+	}
+	if swapMS < 0 || hysteresis < 0 {
+		return nil, fmt.Errorf("serving: negative swap cost or hysteresis")
+	}
+	return &SwitchCostPolicy{Inner: inner, SwapMS: swapMS, Background: background, Hysteresis: hysteresis}, nil
+}
+
+// Choose implements Policy. The returned choice's ServiceMS includes any
+// foreground swap penalty for this request.
+func (p *SwitchCostPolicy) Choose(queueLen int) ModelChoice {
+	want := p.Inner.Choose(queueLen)
+	if !p.started {
+		p.started = true
+		p.current = want
+		p.candidate = want.ID
+		return p.current
+	}
+
+	if want.ID != p.current.ID {
+		if want.ID == p.candidate {
+			p.streak++
+		} else {
+			p.candidate = want.ID
+			p.streak = 1
+		}
+		if p.streak > p.Hysteresis {
+			p.streak = 0
+			if p.Background {
+				// The new model loads off the critical path; this
+				// request is still served by the old model at its
+				// normal cost, and the switch lands afterwards.
+				old := p.current
+				p.current = want
+				return old
+			}
+			p.current = want
+			p.pendingSwap = p.SwapMS
+		}
+	} else {
+		p.candidate = want.ID
+		p.streak = 0
+	}
+
+	out := p.current
+	out.ServiceMS += p.pendingSwap
+	p.pendingSwap = 0
+	return out
+}
+
+// Name implements Policy.
+func (p *SwitchCostPolicy) Name() string {
+	mode := "fg-swap"
+	if p.Background {
+		mode = "bg-swap"
+	}
+	return p.Inner.Name() + "+" + mode
+}
+
+// Note: the number of switches is not recoverable from a Result's
+// model-share map; to quantify swap overhead, compare latency
+// distributions across SwapMS settings (see the switch-cost ablation).

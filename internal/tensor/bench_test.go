@@ -1,0 +1,56 @@
+package tensor
+
+import "testing"
+
+func benchMatrix(n int, seed uint64) *Tensor {
+	m := New(n, n)
+	NewRNG(seed).FillNormal(m, 0, 1)
+	return m
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := benchMatrix(128, 1)
+	y := benchMatrix(128, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatVec1024(b *testing.B) {
+	m := benchMatrix(1024, 3)
+	v := New(1024)
+	NewRNG(4).FillNormal(v, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(m, v)
+	}
+}
+
+func BenchmarkSpectralNorm256(b *testing.B) {
+	m := benchMatrix(256, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpectralNorm(m, 30)
+	}
+}
+
+func BenchmarkSoftmax4096(b *testing.B) {
+	v := New(4096)
+	NewRNG(6).FillNormal(v, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(v)
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	r := NewRNG(7)
+	for i := 0; i < b.N; i++ {
+		r.NormFloat64()
+	}
+}

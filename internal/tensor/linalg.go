@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul multiplies a (m×k) by b (k×n) and returns an m×n tensor. Both
+// operands must be rank-2.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.shape.Rank() != 2 || b.shape.Rank() != 2 {
+		panic(fmt.Errorf("%w: MatMul needs rank-2 operands, got %v and %v", ErrShape, a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop streaming over contiguous rows
+	// of b and out, which matters for the larger models in the zoo.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec multiplies a (m×k) by vector x (k) and returns a length-m vector.
+func MatVec(a, x *Tensor) *Tensor {
+	if a.shape.Rank() != 2 || x.shape.Rank() != 1 {
+		panic(fmt.Errorf("%w: MatVec needs (2,1) ranks, got %v and %v", ErrShape, a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if k != x.shape[0] {
+		panic(fmt.Errorf("%w: MatVec dims %d vs %d", ErrShape, k, x.shape[0]))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.shape.Rank() != 2 {
+		panic(fmt.Errorf("%w: Transpose needs rank-2, got %v", ErrShape, a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// SpectralNorm estimates the largest singular value of a rank-2 tensor via
+// power iteration on AᵀA. iters controls accuracy; 30 is plenty for the
+// bound computations, which tolerate a few percent of slack.
+func SpectralNorm(a *Tensor, iters int) float64 {
+	if a.shape.Rank() != 2 {
+		panic(fmt.Errorf("%w: SpectralNorm needs rank-2, got %v", ErrShape, a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	if m == 0 || n == 0 {
+		return 0
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	// Deterministic start vector: all ones, plus a ramp to avoid landing
+	// exactly in a null space of structured matrices.
+	v := New(n)
+	for i := range v.data {
+		v.data[i] = 1 + float64(i%7)*1e-3
+	}
+	normalize(v)
+	var sigma float64
+	for it := 0; it < iters; it++ {
+		// u = A v ; v = Aᵀ u
+		u := MatVec(a, v)
+		sigma = u.L2Norm()
+		if sigma == 0 {
+			return 0
+		}
+		normalize(u)
+		v = matTVec(a, u, m, n)
+		if nv := v.L2Norm(); nv == 0 {
+			return sigma
+		}
+		normalize(v)
+	}
+	return sigma
+}
+
+func matTVec(a, u *Tensor, m, n int) *Tensor {
+	out := New(n)
+	for i := 0; i < m; i++ {
+		ui := u.data[i]
+		if ui == 0 {
+			continue
+		}
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j] += v * ui
+		}
+	}
+	return out
+}
+
+func normalize(v *Tensor) {
+	n := v.L2Norm()
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v.data {
+		v.data[i] *= inv
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of any tensor.
+func FrobeniusNorm(a *Tensor) float64 { return a.L2Norm() }
+
+// Softmax returns the softmax of a rank-1 tensor, or row-wise softmax of a
+// rank-2 tensor.
+func Softmax(a *Tensor) *Tensor {
+	switch a.shape.Rank() {
+	case 1:
+		return softmaxRow(a.data)
+	case 2:
+		out := New(a.shape...)
+		n := a.shape[1]
+		for i := 0; i < a.shape[0]; i++ {
+			row := softmaxRow(a.data[i*n : (i+1)*n])
+			copy(out.data[i*n:(i+1)*n], row.data)
+		}
+		return out
+	default:
+		panic(fmt.Errorf("%w: Softmax needs rank 1 or 2, got %v", ErrShape, a.shape))
+	}
+}
+
+func softmaxRow(row []float64) *Tensor {
+	out := New(len(row))
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for i, v := range row {
+		e := math.Exp(v - m)
+		out.data[i] = e
+		s += e
+	}
+	inv := 1 / s
+	for i := range out.data {
+		out.data[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Convolutional training support: forward caching and backward rules for
+// Conv2D, pooling, and BatchNorm, so the SGD loop covers the zoo's conv
+// family and heads attached to conv feature extractors — not just dense
+// chains.
+
+// convCache keeps what the backward pass needs from a Conv2D forward:
+// the im2col matrix of the input and the output spatial geometry.
+type convCache struct {
+	cols       *tensor.Tensor // [inC*kh*kw, outH*outW]
+	outH, outW int
+	inShape    tensor.Shape
+}
+
+// convForward mirrors nn's Conv2D execution but returns the cache.
+func convForward(l *graph.Layer, x *tensor.Tensor) (*tensor.Tensor, *convCache, error) {
+	w, bias := l.Param("W"), l.Param("B")
+	if w == nil || bias == nil {
+		return nil, nil, fmt.Errorf("train: Conv2D missing parameters")
+	}
+	a := l.Attrs
+	stride := a.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	inC, inH, inW := x.Shape()[0], x.Shape()[1], x.Shape()[2]
+	outH := (inH+2*a.Pad-a.KernelH)/stride + 1
+	outW := (inW+2*a.Pad-a.KernelW)/stride + 1
+	cols := im2col(x, a.KernelH, a.KernelW, stride, a.Pad, outH, outW)
+	prod := tensor.MatMul(w, cols)
+	pd := prod.Data()
+	bd := bias.Data()
+	area := outH * outW
+	for oc := 0; oc < a.OutChannels; oc++ {
+		off := oc * area
+		for i := 0; i < area; i++ {
+			pd[off+i] += bd[oc]
+		}
+	}
+	cache := &convCache{cols: cols, outH: outH, outW: outW, inShape: tensor.Shape{inC, inH, inW}}
+	return prod.Reshape(a.OutChannels, outH, outW), cache, nil
+}
+
+// convBackward consumes the output gradient [outC, outH, outW], updates W
+// and B (unless frozen), and returns the input gradient [inC, inH, inW].
+func convBackward(l *graph.Layer, cache *convCache, grad *tensor.Tensor, lr float64, frozen bool) *tensor.Tensor {
+	a := l.Attrs
+	stride := a.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	area := cache.outH * cache.outW
+	g2d := grad.Reshape(a.OutChannels, area)
+
+	w := l.Param("W")
+	// dX(cols) = Wᵀ · dY, scattered back through col2im.
+	dCols := tensor.MatMul(tensor.Transpose(w), g2d)
+	dx := col2im(dCols, cache.inShape, a.KernelH, a.KernelW, stride, a.Pad, cache.outH, cache.outW)
+
+	if !frozen {
+		// dW = dY · colsᵀ ; dB = row sums of dY.
+		dW := tensor.MatMul(g2d, tensor.Transpose(cache.cols))
+		wd := w.Data()
+		for i, v := range dW.Data() {
+			wd[i] -= lr * v
+		}
+		bd := l.Param("B").Data()
+		gd := g2d.Data()
+		for oc := 0; oc < a.OutChannels; oc++ {
+			s := 0.0
+			for i := oc * area; i < (oc+1)*area; i++ {
+				s += gd[i]
+			}
+			bd[oc] -= lr * s
+		}
+	}
+	return dx
+}
+
+func im2col(x *tensor.Tensor, kh, kw, stride, pad, outH, outW int) *tensor.Tensor {
+	inC, inH, inW := x.Shape()[0], x.Shape()[1], x.Shape()[2]
+	cols := tensor.New(inC*kh*kw, outH*outW)
+	cd := cols.Data()
+	xd := x.Data()
+	colW := outH * outW
+	for c := 0; c < inC; c++ {
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				row := ((c*kh)+i)*kw + j
+				base := row * colW
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*stride + i - pad
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					xrow := (c*inH + ih) * inW
+					orow := base + oh*outW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*stride + j - pad
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						cd[orow+ow] = xd[xrow+iw]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+func col2im(cols *tensor.Tensor, inShape tensor.Shape, kh, kw, stride, pad, outH, outW int) *tensor.Tensor {
+	inC, inH, inW := inShape[0], inShape[1], inShape[2]
+	out := tensor.New(inC, inH, inW)
+	od := out.Data()
+	cd := cols.Data()
+	colW := outH * outW
+	for c := 0; c < inC; c++ {
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				row := ((c*kh)+i)*kw + j
+				base := row * colW
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*stride + i - pad
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					xrow := (c*inH + ih) * inW
+					orow := base + oh*outW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*stride + j - pad
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						od[xrow+iw] += cd[orow+ow]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// maxPoolForward returns the pooled output plus the flat argmax index per
+// output cell, for gradient routing.
+func maxPoolForward(l *graph.Layer, x *tensor.Tensor) (*tensor.Tensor, []int) {
+	a := l.Attrs
+	stride := a.Stride
+	if stride == 0 {
+		stride = a.KernelH
+	}
+	c, h, w := x.Shape()[0], x.Shape()[1], x.Shape()[2]
+	outH := (h-a.KernelH)/stride + 1
+	outW := (w-a.KernelW)/stride + 1
+	out := tensor.New(c, outH, outW)
+	arg := make([]int, c*outH*outW)
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				best := math.Inf(-1)
+				bi := 0
+				for kh := 0; kh < a.KernelH; kh++ {
+					for kw := 0; kw < a.KernelW; kw++ {
+						ih, iw := oh*stride+kh, ow*stride+kw
+						flat := (ch*h+ih)*w + iw
+						if v := x.Data()[flat]; v > best {
+							best, bi = v, flat
+						}
+					}
+				}
+				out.Set(best, ch, oh, ow)
+				arg[idx] = bi
+				idx++
+			}
+		}
+	}
+	return out, arg
+}
+
+func maxPoolBackward(x *tensor.Tensor, arg []int, grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(x.Shape()...)
+	for i, flat := range arg {
+		dx.Data()[flat] += grad.Data()[i]
+	}
+	return dx
+}
+
+// globalAvgPoolBackward spreads the per-channel gradient evenly over the
+// channel's spatial positions.
+func globalAvgPoolBackward(x *tensor.Tensor, grad *tensor.Tensor) *tensor.Tensor {
+	c := x.Shape()[0]
+	per := x.NumElements() / c
+	dx := tensor.New(x.Shape()...)
+	inv := 1 / float64(per)
+	for ch := 0; ch < c; ch++ {
+		g := grad.Data()[ch] * inv
+		for i := ch * per; i < (ch+1)*per; i++ {
+			dx.Data()[i] = g
+		}
+	}
+	return dx
+}
+
+// batchNormBackward handles inference-style BatchNorm (frozen running
+// statistics): y = x·scale + shift with scale = γ/√(var+ε). The input
+// gradient is dz·scale; γ and β receive gradients through x̂ unless the
+// layer is frozen.
+func batchNormBackward(l *graph.Layer, x *tensor.Tensor, grad *tensor.Tensor, lr float64, frozen bool) *tensor.Tensor {
+	gamma, beta := l.Param("Gamma"), l.Param("Beta")
+	mean, variance := l.Param("Mean"), l.Param("Var")
+	eps := l.Attrs.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	c := x.Shape()[0]
+	per := x.NumElements() / c
+	dx := tensor.New(x.Shape()...)
+	for ch := 0; ch < c; ch++ {
+		invStd := 1 / math.Sqrt(variance.Data()[ch]+eps)
+		scale := gamma.Data()[ch] * invStd
+		var dGamma, dBeta float64
+		for i := ch * per; i < (ch+1)*per; i++ {
+			g := grad.Data()[i]
+			dx.Data()[i] = g * scale
+			xhat := (x.Data()[i] - mean.Data()[ch]) * invStd
+			dGamma += g * xhat
+			dBeta += g
+		}
+		if !frozen {
+			gamma.Data()[ch] -= lr * dGamma
+			beta.Data()[ch] -= lr * dBeta
+		}
+	}
+	return dx
+}

@@ -1,0 +1,364 @@
+// Package train implements plain SGD backpropagation for sequential
+// models: dense chains (Dense / ReLU / LeakyReLU / Tanh / Sigmoid /
+// Softmax / Flatten / Identity / Dropout) and convolutional chains
+// (Conv2D / MaxPool / GlobalAvgPool / BatchNorm, see conv.go). The
+// paper's workflows never train large models from scratch — they
+// fine-tune during transfer — and this trainer covers exactly that: the
+// zoo uses it to derive downstream variants, and the modeldesign example
+// uses it to adapt a selected base.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Loss selects the training objective.
+type Loss int
+
+const (
+	// CrossEntropy expects a trailing Softmax layer and one-hot labels
+	// (supplied as class indices).
+	CrossEntropy Loss = iota
+	// MSE trains on raw output vectors.
+	MSE
+)
+
+// Config controls an SGD run.
+type Config struct {
+	Epochs       int
+	LearningRate float64
+	Loss         Loss
+	// Frozen lists layer names whose parameters must not move — the
+	// transfer-learning "freeze the base" knob.
+	Frozen map[string]bool
+	// Seed orders the training samples; runs are deterministic.
+	Seed uint64
+	// L2 is optional weight decay applied to Dense weights.
+	L2 float64
+}
+
+// Example is one training sample: an input tensor plus either a class
+// index (classification) or a target vector (regression).
+type Example struct {
+	Input  *tensor.Tensor
+	Class  int
+	Target *tensor.Tensor
+}
+
+// SGD trains the model in place and returns the mean loss of the final
+// epoch. The model must be a sequential chain of supported operators.
+func SGD(m *graph.Model, examples []Example, cfg Config) (float64, error) {
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("train: no examples")
+	}
+	chain, err := sequentialChain(m)
+	if err != nil {
+		return 0, err
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.01
+	}
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(examples))
+		total := 0.0
+		for _, idx := range order {
+			ex := examples[idx]
+			loss, err := step(chain, ex, cfg)
+			if err != nil {
+				return 0, err
+			}
+			total += loss
+		}
+		lastLoss = total / float64(len(examples))
+	}
+	return lastLoss, nil
+}
+
+// Evaluate returns classification accuracy of the model over examples.
+func Evaluate(m *graph.Model, examples []Example) (float64, error) {
+	chain, err := sequentialChain(m)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, ex := range examples {
+		acts, _, err := forwardChain(chain, ex.Input)
+		if err != nil {
+			return 0, err
+		}
+		if acts[len(acts)-1].ArgMax() == ex.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// sequentialChain extracts the model's layers in execution order and
+// verifies the model is a supported single-path chain.
+func sequentialChain(m *graph.Model) ([]*graph.Layer, error) {
+	order, err := m.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	for i, l := range order {
+		switch l.Op {
+		case graph.OpInput, graph.OpDense, graph.OpReLU, graph.OpLeakyReLU,
+			graph.OpTanh, graph.OpSigmoid, graph.OpSoftmax,
+			graph.OpFlatten, graph.OpIdentity, graph.OpDropout,
+			graph.OpConv2D, graph.OpMaxPool, graph.OpGlobalAvgPool,
+			graph.OpBatchNorm:
+		default:
+			return nil, fmt.Errorf("train: operator %s (layer %q) is not trainable; "+
+				"freeze it behind a feature extractor instead", l.Op, l.Name)
+		}
+		if i > 0 && (len(l.Inputs) != 1 || l.Inputs[0] != order[i-1].Name) {
+			return nil, fmt.Errorf("train: model %q is not a sequential chain at layer %q", m.Name, l.Name)
+		}
+	}
+	return order, nil
+}
+
+// layerCache carries per-layer forward state the backward pass needs.
+type layerCache struct {
+	conv *convCache
+	arg  []int // MaxPool argmax indices
+}
+
+func forwardChain(chain []*graph.Layer, in *tensor.Tensor) ([]*tensor.Tensor, []layerCache, error) {
+	acts := make([]*tensor.Tensor, len(chain))
+	caches := make([]layerCache, len(chain))
+	cur := in
+	for i, l := range chain {
+		if l.Op == graph.OpInput {
+			acts[i] = cur
+			continue
+		}
+		var err error
+		switch l.Op {
+		case graph.OpConv2D:
+			var cc *convCache
+			cur, cc, err = convForward(l, cur)
+			caches[i].conv = cc
+		case graph.OpMaxPool:
+			var arg []int
+			cur, arg = maxPoolForward(l, cur)
+			caches[i].arg = arg
+		default:
+			cur, err = applyForward(l, cur)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		acts[i] = cur
+	}
+	return acts, caches, nil
+}
+
+func applyForward(l *graph.Layer, x *tensor.Tensor) (*tensor.Tensor, error) {
+	switch l.Op {
+	case graph.OpDense:
+		out := tensor.MatVec(l.Param("W"), x)
+		out.AddInPlace(l.Param("B"))
+		return out, nil
+	case graph.OpReLU:
+		return x.Map(func(v float64) float64 { return math.Max(0, v) }), nil
+	case graph.OpLeakyReLU:
+		alpha := l.Attrs.Alpha
+		if alpha == 0 {
+			alpha = 0.01
+		}
+		return x.Map(func(v float64) float64 {
+			if v >= 0 {
+				return v
+			}
+			return alpha * v
+		}), nil
+	case graph.OpTanh:
+		return x.Map(math.Tanh), nil
+	case graph.OpSigmoid:
+		return x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }), nil
+	case graph.OpSoftmax:
+		return tensor.Softmax(x.Reshape(x.NumElements())), nil
+	case graph.OpFlatten:
+		return x.Reshape(x.NumElements()), nil
+	case graph.OpIdentity, graph.OpDropout:
+		return x, nil
+	case graph.OpGlobalAvgPool:
+		c := x.Shape()[0]
+		per := x.NumElements() / c
+		out := tensor.New(c)
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for i := ch * per; i < (ch+1)*per; i++ {
+				s += x.Data()[i]
+			}
+			out.Data()[ch] = s / float64(per)
+		}
+		return out, nil
+	case graph.OpBatchNorm:
+		gamma, beta := l.Param("Gamma"), l.Param("Beta")
+		mean, variance := l.Param("Mean"), l.Param("Var")
+		eps := l.Attrs.Eps
+		if eps == 0 {
+			eps = 1e-5
+		}
+		c := x.Shape()[0]
+		per := x.NumElements() / c
+		out := x.Clone()
+		for ch := 0; ch < c; ch++ {
+			scale := gamma.Data()[ch] / math.Sqrt(variance.Data()[ch]+eps)
+			shift := beta.Data()[ch] - mean.Data()[ch]*scale
+			for i := ch * per; i < (ch+1)*per; i++ {
+				out.Data()[i] = out.Data()[i]*scale + shift
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("train: unsupported op %s", l.Op)
+	}
+}
+
+func step(chain []*graph.Layer, ex Example, cfg Config) (float64, error) {
+	acts, caches, err := forwardChain(chain, ex.Input)
+	if err != nil {
+		return 0, err
+	}
+	out := acts[len(acts)-1]
+
+	// Loss and output gradient.
+	var loss float64
+	grad := tensor.New(out.NumElements())
+	switch cfg.Loss {
+	case CrossEntropy:
+		if chain[len(chain)-1].Op != graph.OpSoftmax {
+			return 0, fmt.Errorf("train: CrossEntropy requires a trailing Softmax layer")
+		}
+		if ex.Class < 0 || ex.Class >= out.NumElements() {
+			return 0, fmt.Errorf("train: class %d out of range for output %v", ex.Class, out.Shape())
+		}
+		p := out.Data()[ex.Class]
+		loss = -math.Log(math.Max(p, 1e-12))
+		// Combined softmax+CE gradient w.r.t. the softmax *input*.
+		copy(grad.Data(), out.Data())
+		grad.Data()[ex.Class] -= 1
+	case MSE:
+		if ex.Target == nil {
+			return 0, fmt.Errorf("train: MSE example missing target")
+		}
+		for i := range grad.Data() {
+			d := out.Data()[i] - ex.Target.Data()[i]
+			grad.Data()[i] = 2 * d
+			loss += d * d
+		}
+	default:
+		return 0, fmt.Errorf("train: unknown loss %d", cfg.Loss)
+	}
+
+	// Backward pass. For CrossEntropy the trailing softmax layer is
+	// folded into the loss gradient, so it is skipped below.
+	start := len(chain) - 1
+	if cfg.Loss == CrossEntropy {
+		start = len(chain) - 2
+	}
+	for i := start; i >= 1; i-- {
+		l := chain[i]
+		x := acts[i-1] // layer input
+		y := acts[i]   // layer output
+		switch l.Op {
+		case graph.OpDense:
+			w := l.Param("W")
+			units, in := w.Shape()[0], w.Shape()[1]
+			newGrad := tensor.New(in)
+			if !cfg.Frozen[l.Name] {
+				lr := cfg.LearningRate
+				wd, bd := w.Data(), l.Param("B").Data()
+				for u := 0; u < units; u++ {
+					g := grad.Data()[u]
+					row := wd[u*in : (u+1)*in]
+					for j := 0; j < in; j++ {
+						newGrad.Data()[j] += row[j] * g
+						upd := g * x.Data()[j]
+						if cfg.L2 > 0 {
+							upd += cfg.L2 * row[j]
+						}
+						row[j] -= lr * upd
+					}
+					bd[u] -= lr * g
+				}
+			} else {
+				wd := w.Data()
+				for u := 0; u < units; u++ {
+					g := grad.Data()[u]
+					row := wd[u*in : (u+1)*in]
+					for j := 0; j < in; j++ {
+						newGrad.Data()[j] += row[j] * g
+					}
+				}
+			}
+			grad = newGrad
+		case graph.OpReLU:
+			for j := range grad.Data() {
+				if x.Data()[j] <= 0 {
+					grad.Data()[j] = 0
+				}
+			}
+		case graph.OpLeakyReLU:
+			alpha := l.Attrs.Alpha
+			if alpha == 0 {
+				alpha = 0.01
+			}
+			for j := range grad.Data() {
+				if x.Data()[j] < 0 {
+					grad.Data()[j] *= alpha
+				}
+			}
+		case graph.OpTanh:
+			for j := range grad.Data() {
+				yv := y.Data()[j]
+				grad.Data()[j] *= 1 - yv*yv
+			}
+		case graph.OpSigmoid:
+			for j := range grad.Data() {
+				yv := y.Data()[j]
+				grad.Data()[j] *= yv * (1 - yv)
+			}
+		case graph.OpSoftmax:
+			// Full softmax Jacobian (used only under MSE loss).
+			s := y.Data()
+			ng := tensor.New(len(s))
+			var dot float64
+			for j := range s {
+				dot += grad.Data()[j] * s[j]
+			}
+			for j := range s {
+				ng.Data()[j] = s[j] * (grad.Data()[j] - dot)
+			}
+			grad = ng
+		case graph.OpFlatten, graph.OpIdentity, graph.OpDropout:
+			// gradient passes through unchanged
+		case graph.OpConv2D:
+			shaped := grad.Reshape(y.Shape()...)
+			dx := convBackward(l, caches[i].conv, shaped, cfg.LearningRate, cfg.Frozen[l.Name])
+			grad = dx.Reshape(dx.NumElements())
+		case graph.OpMaxPool:
+			dx := maxPoolBackward(x, caches[i].arg, grad)
+			grad = dx.Reshape(dx.NumElements())
+		case graph.OpGlobalAvgPool:
+			dx := globalAvgPoolBackward(x, grad)
+			grad = dx.Reshape(dx.NumElements())
+		case graph.OpBatchNorm:
+			dx := batchNormBackward(l, x, grad, cfg.LearningRate, cfg.Frozen[l.Name])
+			grad = dx.Reshape(dx.NumElements())
+		}
+	}
+	return loss, nil
+}

@@ -1,0 +1,280 @@
+package zoo
+
+import (
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Cohort is a group of models sharing a task (and often a lineage), with
+// the teacher model defining the task's ground truth.
+type Cohort struct {
+	Teacher *graph.Model
+	Models  []*graph.Model
+	// TrueDiff maps model name to its calibrated disagreement with the
+	// cohort base — the experiments' ground truth.
+	TrueDiff map[string]float64
+}
+
+// CorrelatedCohort reproduces the Figure 3 phenomenon: k "independently
+// designed" models that were all trained on the same data. The teacher
+// defines ground truth; a common ancestor C sits baseDiff away from the
+// teacher; each cohort model sits variantDiff away from C. Pairwise
+// agreement between cohort models then exceeds each model's own accuracy
+// against the teacher.
+func CorrelatedCohort(inDim, classes, k int, baseDiff, variantDiff float64, seed uint64) (*Cohort, error) {
+	teacher, err := DenseResidualNet(Config{
+		Name: "teacher", Seed: seed, InDim: inDim, Classes: classes, Depth: 2, Width: 48,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed + 1)
+	probes := probeInputs(teacher.InputShape, 400, rng)
+
+	ancestor, _, err := CalibratedVariant(teacher, "ancestor", baseDiff, probes, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	cohort := &Cohort{Teacher: teacher, TrueDiff: make(map[string]float64)}
+	names := []string{"resnet50ish", "inceptionish", "resnext101ish", "vgg19ish", "mobilenetish"}
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("model%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		v, dis, err := CalibratedVariant(ancestor, name, variantDiff, probes, seed+10+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		cohort.Models = append(cohort.Models, v)
+		cohort.TrueDiff[name] = dis
+	}
+	return cohort, nil
+}
+
+func probeInputs(shape tensor.Shape, n int, rng *tensor.RNG) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		t := tensor.New(shape...)
+		rng.FillNormal(t, 0, 1)
+		out[i] = t
+	}
+	return out
+}
+
+// SyntheticEntry pairs a generated model with its ground-truth
+// disagreement from its reference base.
+type SyntheticEntry struct {
+	Model *graph.Model
+	// Base names the reference model this entry derives from.
+	Base string
+	// TrueDiff is the calibrated disagreement with the base.
+	TrueDiff float64
+}
+
+// SyntheticRepo is the paper's 200-model synthetic repository (§7):
+// variants transferred from a handful of widely used bases, with
+// fine-grained control over functional-equivalence levels.
+type SyntheticRepo struct {
+	Bases   []*graph.Model
+	Entries []SyntheticEntry
+}
+
+// SyntheticRepository generates nPerBase variants of each of nBases base
+// models, with disagreement levels spread uniformly over (0, maxDiff].
+// It exercises every dense family in rotation.
+func SyntheticRepository(nBases, nPerBase int, maxDiff float64, seed uint64) (*SyntheticRepo, error) {
+	if nBases <= 0 || nPerBase <= 0 {
+		return nil, fmt.Errorf("zoo: synthetic repository needs positive sizes")
+	}
+	families := []string{"dense-residual", "transformerish", "mobile", "inception"}
+	repo := &SyntheticRepo{}
+	rng := tensor.NewRNG(seed)
+	for bi := 0; bi < nBases; bi++ {
+		fam := families[bi%len(families)]
+		base, err := Build(fam, Config{
+			Name:    fmt.Sprintf("base-%s-%d", fam, bi),
+			Seed:    seed + uint64(bi)*101,
+			InDim:   16,
+			Classes: 8,
+			Depth:   2,
+			Width:   32 + 8*(bi%3),
+			Series:  fmt.Sprintf("series-%d", bi),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("zoo: building base %d: %w", bi, err)
+		}
+		repo.Bases = append(repo.Bases, base)
+		probes := probeInputs(base.InputShape, 300, rng.Fork())
+		for vi := 0; vi < nPerBase; vi++ {
+			// Uniform spread of target differences over (0, maxDiff].
+			target := maxDiff * float64(vi+1) / float64(nPerBase)
+			name := fmt.Sprintf("%s-v%02d", base.Name, vi)
+			v, dis, err := CalibratedVariant(base, name, target, probes, seed+uint64(bi)*1000+uint64(vi))
+			if err != nil {
+				return nil, fmt.Errorf("zoo: variant %s: %w", name, err)
+			}
+			if v.Metadata == nil {
+				v.Metadata = map[string]string{}
+			}
+			v.Metadata["series"] = fmt.Sprintf("series-%d", bi)
+			repo.Entries = append(repo.Entries, SyntheticEntry{Model: v, Base: base.Name, TrueDiff: dis})
+		}
+	}
+	return repo, nil
+}
+
+// Series is a TF-Hub-style collection: a ladder of increasingly large
+// models derived from one trunk.
+type Series struct {
+	Name   string
+	Trunk  string // shared-trunk group; series with equal Trunk correlate
+	Models []*graph.Model
+}
+
+// CatalogConfig scales the TF-Hub-like catalog.
+type CatalogConfig struct {
+	NumSeries int
+	// ModelsPerSeries varies per series between Min and Max.
+	MinPerSeries, MaxPerSeries int
+	NumTrunks                  int
+	Seed                       uint64
+}
+
+// DefaultCatalogConfig reproduces the paper's case study scale: 30 series
+// totalling ~163 models derived from 8 shared trunks.
+func DefaultCatalogConfig() CatalogConfig {
+	return CatalogConfig{NumSeries: 30, MinPerSeries: 4, MaxPerSeries: 8, NumTrunks: 8, Seed: 0xca7a}
+}
+
+// Catalog synthesizes a TF-Hub-like population: NumSeries series, each a
+// size ladder built from one of NumTrunks shared trunk models. Models in
+// different series sharing a trunk are functionally correlated — the
+// hidden cross-series structure Figures 12(b) and 13 uncover.
+func Catalog(cfg CatalogConfig) ([]Series, error) {
+	if cfg.NumSeries <= 0 {
+		return nil, fmt.Errorf("zoo: catalog needs at least one series")
+	}
+	if cfg.NumTrunks <= 0 {
+		cfg.NumTrunks = 8
+	}
+	if cfg.MinPerSeries <= 0 {
+		cfg.MinPerSeries = 4
+	}
+	if cfg.MaxPerSeries < cfg.MinPerSeries {
+		cfg.MaxPerSeries = cfg.MinPerSeries
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	// Shared trunks: one teacher-grade model per trunk group.
+	trunks := make([]*graph.Model, cfg.NumTrunks)
+	for i := range trunks {
+		t, err := DenseResidualNet(Config{
+			Name: fmt.Sprintf("trunk-%d", i), Seed: cfg.Seed + uint64(i)*7,
+			InDim: 16, Classes: 8, Depth: 2, Width: 40,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trunks[i] = t
+	}
+
+	var out []Series
+	for si := 0; si < cfg.NumSeries; si++ {
+		trunkIdx := si % cfg.NumTrunks
+		trunk := trunks[trunkIdx]
+		probes := probeInputs(trunk.InputShape, 250, rng.Fork())
+		n := cfg.MinPerSeries
+		if cfg.MaxPerSeries > cfg.MinPerSeries {
+			n += rng.Intn(cfg.MaxPerSeries - cfg.MinPerSeries + 1)
+		}
+		s := Series{
+			Name:  fmt.Sprintf("series-%02d", si),
+			Trunk: trunk.Name,
+		}
+		// Each series first derives its own core from the shared trunk
+		// (its "identity": the series-specific training recipe), then
+		// builds rungs off that core. Recipe distances cycle through
+		// near-clone, moderate, and distinct tiers: real hubs contain
+		// both rebranded near-duplicates and genuinely different
+		// recipes over the same trunk, and it is the near-clone pairs
+		// whose best equivalents cross series boundaries — the partial
+		// crossing fractions Figure 13 quantifies.
+		recipeTiers := []float64{0.015, 0.02, 0.045, 0.07}
+		coreDiff := recipeTiers[si%len(recipeTiers)]
+		core, _, err := CalibratedVariant(trunk, s.Name+"-core", coreDiff, probes, cfg.Seed+uint64(si)*977+5)
+		if err != nil {
+			return nil, err
+		}
+		// Ladder: rung r is a calibrated variant of the series core
+		// whose distance shrinks as the model "grows" (larger models
+		// are more faithful), inflated to a rung-specific width so
+		// resource profiles form a real ladder.
+		for r := 0; r < n; r++ {
+			target := 0.008 + 0.025*float64(n-1-r)/float64(n)
+			name := fmt.Sprintf("%s-m%d", s.Name, r)
+			v, dis, err := CalibratedVariant(core, name, target, probes, cfg.Seed+uint64(si)*131+uint64(r))
+			if err != nil {
+				return nil, err
+			}
+			if r > 0 {
+				v, err = Inflate(v, name, 40, 40+8*r, cfg.Seed+uint64(si)*977+uint64(r))
+				if err != nil {
+					return nil, err
+				}
+			}
+			if v.Metadata == nil {
+				v.Metadata = map[string]string{}
+			}
+			v.Metadata["series"] = s.Name
+			v.Metadata["trunk"] = trunk.Name
+			v.Metadata["rung"] = fmt.Sprint(r)
+			v.Metadata["true-diff"] = fmt.Sprintf("%.4f", dis)
+			s.Models = append(s.Models, v)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SizeLadder builds a BiT-like or EfficientNet-like series: each rung is
+// a variant of the task teacher calibrated to a rung-specific
+// disagreement target (its behavioural distance from the task's ground
+// truth — real series are accuracy ladders), then inflated to the rung's
+// width so resource profiles genuinely grow. targets and widths must
+// have equal lengths; rung order is smallest-first, and targets normally
+// decrease with size (bigger models are more accurate). Different series
+// over the same teacher can then be more or less parameter-efficient —
+// the structure Figure 12(b) uncovers.
+func SizeLadder(seriesName string, teacher *graph.Model, coreWidth int, widths []int, targets []float64, seed uint64) ([]*graph.Model, error) {
+	if len(widths) != len(targets) {
+		return nil, fmt.Errorf("zoo: ladder needs one target per width (%d vs %d)", len(widths), len(targets))
+	}
+	rng := tensor.NewRNG(seed)
+	probes := probeInputs(teacher.InputShape, 300, rng)
+	var out []*graph.Model
+	for i, w := range widths {
+		if w < coreWidth {
+			return nil, fmt.Errorf("zoo: ladder width %d below core width %d", w, coreWidth)
+		}
+		name := fmt.Sprintf("%s-r%d", seriesName, i)
+		core, dis, err := CalibratedVariant(teacher, name, targets[i], probes, seed+10+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		rung, err := Inflate(core, name, coreWidth, w, seed+50+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		if rung.Metadata == nil {
+			rung.Metadata = map[string]string{}
+		}
+		rung.Metadata["series"] = seriesName
+		rung.Metadata["width"] = fmt.Sprint(w)
+		rung.Metadata["true-diff"] = fmt.Sprintf("%.4f", dis)
+		out = append(out, rung)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package zoo
+
+import (
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// Inflate widens a dense-family model from hidden width oldW to newW,
+// embedding the original weights in the top-left block of each enlarged
+// matrix and filling the new rows/columns with near-zero noise. The
+// resulting model computes (approximately) the same function while its
+// parameter count, FLOPs, and memory grow with the new width — exactly
+// how the reproduction builds size ladders whose rungs share behaviour
+// but differ in resource profile (BiT-like and EfficientNet-like series).
+//
+// Only hidden dimensions equal to oldW are widened; the input stem and
+// classifier head keep their external dimensions.
+func Inflate(m *graph.Model, name string, oldW, newW int, seed uint64) (*graph.Model, error) {
+	if newW < oldW {
+		return nil, fmt.Errorf("zoo: Inflate cannot shrink (%d -> %d)", oldW, newW)
+	}
+	c := m.Clone()
+	c.Name = name
+	if newW == oldW {
+		return c, nil
+	}
+	rng := tensor.NewRNG(seed)
+	const eps = 1e-3 // new-unit weight scale: small enough to barely move outputs
+
+	grow := func(dim int) int {
+		if dim == oldW {
+			return newW
+		}
+		return dim
+	}
+
+	for _, l := range c.Layers {
+		switch l.Op {
+		case graph.OpDense:
+			w := l.Param("W")
+			out, in := w.Shape()[0], w.Shape()[1]
+			nOut, nIn := grow(out), grow(in)
+			if nOut == out && nIn == in {
+				continue
+			}
+			nw := tensor.New(nOut, nIn)
+			rng.FillNormal(nw, 0, eps)
+			for i := 0; i < out; i++ {
+				copy(nw.Data()[i*nIn:i*nIn+in], w.Data()[i*in:(i+1)*in])
+			}
+			l.Params["W"] = nw
+			b := l.Param("B")
+			nb := tensor.New(nOut)
+			copy(nb.Data(), b.Data())
+			l.Params["B"] = nb
+			l.Attrs.Units = nOut
+		case graph.OpBatchNorm:
+			inflateNormParams(l, oldW, newW)
+		case graph.OpLayerNorm:
+			inflateNormParams(l, oldW, newW)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("zoo: inflated model invalid: %w", err)
+	}
+	if c.Metadata == nil {
+		c.Metadata = map[string]string{}
+	}
+	c.Metadata["inflated-from"] = m.Name
+	c.Metadata["width"] = fmt.Sprint(newW)
+	return c, nil
+}
+
+func inflateNormParams(l *graph.Layer, oldW, newW int) {
+	for name, p := range l.Params {
+		if p.Shape().Rank() != 1 || p.Shape()[0] != oldW {
+			continue
+		}
+		np := tensor.New(newW)
+		switch name {
+		case "Gamma", "Var":
+			np.Fill(1)
+		}
+		copy(np.Data(), p.Data())
+		l.Params[name] = np
+	}
+}

@@ -1,0 +1,102 @@
+package zoo
+
+import (
+	"sommelier/internal/graph"
+	"sommelier/internal/tensor"
+)
+
+// TextConfig scales a text-classification model (the NLP side of the
+// paper's evaluation: sentiment analysis, Q&A, NER all reduce to
+// token-sequence classification at this substrate's granularity).
+type TextConfig struct {
+	Name    string
+	Seed    uint64
+	SeqLen  int // tokens per input
+	Vocab   int
+	EmbedD  int
+	Hidden  int
+	Classes int
+	Series  string
+}
+
+func (c TextConfig) defaults() TextConfig {
+	if c.SeqLen == 0 {
+		c.SeqLen = 12
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 64
+	}
+	if c.EmbedD == 0 {
+		c.EmbedD = 16
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 24
+	}
+	if c.Classes == 0 {
+		c.Classes = 4
+	}
+	return c
+}
+
+// TextClassifierNet builds an Embedding → mean-pool → Dense classifier,
+// the standard fastText-style text model: inputs are rank-1 tensors of
+// token ids (as floats), length SeqLen.
+func TextClassifierNet(cfg TextConfig) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification,
+		tensor.Shape{cfg.SeqLen}, tensor.NewRNG(cfg.Seed))
+	b.Add(graph.OpEmbedding, graph.Attrs{VocabSize: cfg.Vocab, EmbedDim: cfg.EmbedD})
+	// Mean over the sequence: embedding output is [SeqLen, EmbedD];
+	// flatten and project. (GlobalAvgPool averages trailing dims per
+	// leading index, which would pool the wrong axis here.)
+	b.Flatten()
+	b.Dense(cfg.Hidden)
+	b.Tanh()
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "text")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// TextCohort builds a teacher text model plus k calibrated variants —
+// the NLP counterpart of CorrelatedCohort, with token-valued probes.
+func TextCohort(cfg TextConfig, k int, variantDiff float64, seed uint64) (*Cohort, error) {
+	cfg = cfg.defaults()
+	cfg.Name = "text-teacher"
+	teacher, err := TextClassifierNet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	probes := TokenProbes(300, cfg.SeqLen, cfg.Vocab, seed+1)
+	cohort := &Cohort{Teacher: teacher, TrueDiff: make(map[string]float64)}
+	names := []string{"bertish", "robertaish", "distilbertish", "albertish"}
+	for i := 0; i < k; i++ {
+		name := "text-v" + Classes(k)[i][5:]
+		if i < len(names) {
+			name = names[i]
+		}
+		v, dis, err := CalibratedVariant(teacher, name, variantDiff, probes, seed+10+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		cohort.Models = append(cohort.Models, v)
+		cohort.TrueDiff[name] = dis
+	}
+	return cohort, nil
+}
+
+// TokenProbes generates n random token-id sequences in [0, vocab).
+func TokenProbes(n, seqLen, vocab int, seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		t := tensor.New(seqLen)
+		for j := range t.Data() {
+			t.Data()[j] = float64(rng.Intn(vocab))
+		}
+		out[i] = t
+	}
+	return out
+}

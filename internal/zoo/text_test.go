@@ -1,0 +1,70 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+func TestTextClassifierBuildsAndRuns(t *testing.T) {
+	m, err := TextClassifierNet(TextConfig{Name: "txt", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := nn.NewExecutor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := TokenProbes(10, 12, 64, 2)
+	for _, p := range probes {
+		out, err := e.Forward(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out.Sum()-1) > 1e-9 {
+			t.Fatalf("output not a distribution: %g", out.Sum())
+		}
+	}
+}
+
+func TestTokenProbesInRange(t *testing.T) {
+	probes := TokenProbes(20, 8, 16, 3)
+	if len(probes) != 20 {
+		t.Fatalf("len = %d", len(probes))
+	}
+	for _, p := range probes {
+		if !p.Shape().Equal(tensor.Shape{8}) {
+			t.Fatalf("shape %v", p.Shape())
+		}
+		for _, v := range p.Data() {
+			if v < 0 || v >= 16 || v != math.Trunc(v) {
+				t.Fatalf("token id %g out of range", v)
+			}
+		}
+	}
+}
+
+func TestTextCohortCorrelation(t *testing.T) {
+	cohort, err := TextCohort(TextConfig{Seed: 4}, 3, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohort.Models) != 3 {
+		t.Fatalf("cohort size %d", len(cohort.Models))
+	}
+	if cohort.Models[0].Name != "bertish" {
+		t.Fatalf("name %q", cohort.Models[0].Name)
+	}
+	// Variants must land near the requested disagreement.
+	for name, dis := range cohort.TrueDiff {
+		if math.Abs(dis-0.1) > 0.06 {
+			t.Fatalf("%s calibrated to %g, want ~0.1", name, dis)
+		}
+	}
+	// Different task shape than the CV families: token-id inputs.
+	if !cohort.Teacher.InputShape.Equal(tensor.Shape{12}) {
+		t.Fatalf("teacher input %v", cohort.Teacher.InputShape)
+	}
+}

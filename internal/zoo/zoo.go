@@ -1,0 +1,389 @@
+// Package zoo synthesizes the DNN model populations the experiments run
+// on, standing in for the paper's pre-trained TF-Hub and transfer-learned
+// models (repro substitution documented in DESIGN.md). It provides:
+//
+//   - architecture families with realistic operator mixes (residual
+//     dense, convolutional, mobile-narrow, branchy inception-style);
+//   - transfer variants that share a base trunk with controlled
+//     fine-tuning perturbation;
+//   - difference-calibrated variants whose disagreement with a base
+//     model hits a target fraction (the independent variable of the
+//     query-quality experiment);
+//   - the 200-model synthetic repository and the 30-series TF-Hub-like
+//     catalog used by the case studies.
+package zoo
+
+import (
+	"fmt"
+	"math"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/tensor"
+)
+
+// Classes returns n synthetic label names ("class00".."classNN"), shared
+// across models of the same task so output-syntax checks pass.
+func Classes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("class%02d", i)
+	}
+	return out
+}
+
+// Config scales a family build.
+type Config struct {
+	Name    string
+	Seed    uint64
+	InDim   int // per-sample input width (dense families)
+	Classes int
+	Depth   int // number of blocks
+	Width   int // hidden width / channel count
+	Series  string
+}
+
+func (c Config) defaults() Config {
+	if c.InDim == 0 {
+		c.InDim = 16
+	}
+	if c.Classes == 0 {
+		c.Classes = 8
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.Width == 0 {
+		c.Width = 32
+	}
+	return c
+}
+
+// DenseResidualNet builds a residual MLP (the dense analogue of
+// ResNet/BiT): a stem projection followed by Depth residual blocks of
+// Dense→ReLU→Dense plus a classifier head.
+func DenseResidualNet(cfg Config) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification, tensor.Shape{cfg.InDim}, tensor.NewRNG(cfg.Seed))
+	b.Dense(cfg.Width)
+	b.ReLU()
+	for i := 0; i < cfg.Depth; i++ {
+		b.Residual(func(b *graph.Builder) {
+			b.Dense(cfg.Width)
+			b.ReLU()
+			b.Dense(cfg.Width)
+		})
+		b.ReLU()
+	}
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "dense-residual")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// TransformerishNet builds a LayerNorm-heavy residual stack, the dense
+// analogue of a BERT encoder.
+func TransformerishNet(cfg Config) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification, tensor.Shape{cfg.InDim}, tensor.NewRNG(cfg.Seed))
+	b.Dense(cfg.Width)
+	for i := 0; i < cfg.Depth; i++ {
+		b.Residual(func(b *graph.Builder) {
+			b.LayerNorm()
+			b.Dense(cfg.Width)
+			b.Tanh()
+			b.Dense(cfg.Width)
+		})
+	}
+	b.LayerNorm()
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "transformerish")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// ConvNet builds a VGG-style plain convolutional classifier over
+// Width-channel 3×H×W inputs. InDim is interpreted as the square input
+// side length (default 8).
+func ConvNet(cfg Config) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	side := cfg.InDim
+	if side < 4 || side > 64 {
+		side = 8
+	}
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification, tensor.Shape{3, side, side}, tensor.NewRNG(cfg.Seed))
+	ch := cfg.Width / 4
+	if ch < 2 {
+		ch = 2
+	}
+	for i := 0; i < cfg.Depth && side >= 2; i++ {
+		b.Conv(ch, 3, 1, 1)
+		b.ReLU()
+		if side >= 4 {
+			b.MaxPool(2, 2)
+			side /= 2
+		}
+		ch *= 2
+	}
+	b.Flatten()
+	b.Dense(cfg.Width)
+	b.ReLU()
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "conv")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// MobileNetish builds a narrow, cheap dense model (the MobileNet point in
+// the accuracy/footprint trade-off space).
+func MobileNetish(cfg Config) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification, tensor.Shape{cfg.InDim}, tensor.NewRNG(cfg.Seed))
+	w := cfg.Width / 2
+	if w < 4 {
+		w = 4
+	}
+	for i := 0; i < cfg.Depth; i++ {
+		b.Dense(w)
+		b.ReLU()
+		b.BatchNorm()
+	}
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "mobile")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// InceptionishNet builds a branchy model: parallel Dense towers merged by
+// Concat, exercising multi-source operators.
+func InceptionishNet(cfg Config) (*graph.Model, error) {
+	cfg = cfg.defaults()
+	b := graph.NewBuilder(cfg.Name, graph.TaskClassification, tensor.Shape{cfg.InDim}, tensor.NewRNG(cfg.Seed))
+	b.Dense(cfg.Width)
+	b.ReLU()
+	act := b.Last()
+	half := cfg.Width / 2
+	if half < 2 {
+		half = 2
+	}
+	b1 := b.Add(graph.OpDense, graph.Attrs{Units: half}, act)
+	b1 = b.Add(graph.OpReLU, graph.Attrs{}, b1)
+	b2 := b.Add(graph.OpDense, graph.Attrs{Units: half}, act)
+	b2 = b.Add(graph.OpTanh, graph.Attrs{}, b2)
+	b.Add(graph.OpConcat, graph.Attrs{}, b1, b2)
+	b.Dense(cfg.Classes)
+	b.Softmax()
+	b.Labels(Classes(cfg.Classes))
+	b.Meta("family", "inception")
+	b.Meta("series", cfg.Series)
+	return b.Build()
+}
+
+// Build dispatches a family by name.
+func Build(family string, cfg Config) (*graph.Model, error) {
+	switch family {
+	case "dense-residual":
+		return DenseResidualNet(cfg)
+	case "transformerish":
+		return TransformerishNet(cfg)
+	case "conv":
+		return ConvNet(cfg)
+	case "mobile":
+		return MobileNetish(cfg)
+	case "inception":
+		return InceptionishNet(cfg)
+	default:
+		return nil, fmt.Errorf("zoo: unknown family %q", family)
+	}
+}
+
+// Families lists the family names Build accepts.
+func Families() []string {
+	return []string{"dense-residual", "transformerish", "conv", "mobile", "inception"}
+}
+
+// Perturb returns a renamed clone of m with every parameter element
+// nudged by Gaussian noise of relative magnitude frac. Scale-relative
+// noise keeps layer spectra realistic, which matters for the bounds.
+func Perturb(m *graph.Model, name string, frac float64, seed uint64) *graph.Model {
+	c := m.Clone()
+	c.Name = name
+	rng := tensor.NewRNG(seed)
+	for _, l := range c.Layers {
+		for _, pname := range l.ParamNames() {
+			// Leave BatchNorm running statistics intact; perturbing
+			// Var can flip it negative.
+			if pname == "Var" || pname == "Mean" {
+				continue
+			}
+			p := l.Params[pname]
+			for i, v := range p.Data() {
+				p.Data()[i] = v + frac*rng.NormFloat64()*(math.Abs(v)+1e-3)
+			}
+		}
+	}
+	return c
+}
+
+// CalibratedVariant perturbs base until the variant's prediction
+// disagreement with base over the probe inputs is close to target. It
+// returns the variant and its achieved disagreement. Binary search over
+// the noise fraction converges because disagreement is monotone in noise
+// in expectation.
+func CalibratedVariant(base *graph.Model, name string, target float64, probes []*tensor.Tensor, seed uint64) (*graph.Model, float64, error) {
+	if target < 0 || target >= 1 {
+		return nil, 0, fmt.Errorf("zoo: target disagreement %g out of [0,1)", target)
+	}
+	baseExec, err := nn.NewExecutor(base)
+	if err != nil {
+		return nil, 0, err
+	}
+	if target == 0 {
+		v := base.Clone()
+		v.Name = name
+		return v, 0, nil
+	}
+	measure := func(frac float64) (*graph.Model, float64, error) {
+		v := Perturb(base, name, frac, seed)
+		ve, err := nn.NewExecutor(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		agree, err := nn.AgreementRatio(baseExec, ve, probes)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, 1 - agree, nil
+	}
+	lo, hi := 0.0, 0.05
+	// Grow hi until it overshoots the target.
+	var best *graph.Model
+	var bestDis float64
+	for iter := 0; iter < 12; iter++ {
+		v, dis, err := measure(hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		best, bestDis = v, dis
+		if dis >= target {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	for iter := 0; iter < 14; iter++ {
+		mid := (lo + hi) / 2
+		v, dis, err := measure(mid)
+		if err != nil {
+			return nil, 0, err
+		}
+		if math.Abs(dis-target) < math.Abs(bestDis-target) {
+			best, bestDis = v, dis
+		}
+		if dis < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, bestDis, nil
+}
+
+// Transfer derives a downstream variant of base: the trunk (every layer
+// except the classifier head) is copied, layers beyond freezeDepth linear
+// layers are perturbed by tuneFrac to mimic fine-tuning, and a fresh head
+// with headClasses outputs replaces the original. The variant shares the
+// trunk structure with base, so segment extraction finds the common base.
+func Transfer(base *graph.Model, name string, headClasses int, freezeDepth int, tuneFrac float64, seed uint64) (*graph.Model, error) {
+	order, err := base.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// Identify the head: the final Dense (+ trailing Softmax).
+	headStart := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].Op == graph.OpDense {
+			headStart = i
+			break
+		}
+	}
+	if headStart <= 0 {
+		return nil, fmt.Errorf("zoo: model %q has no dense head to transfer", base.Name)
+	}
+
+	v := base.Clone()
+	v.Name = name
+	rng := tensor.NewRNG(seed)
+
+	// Perturb unfrozen trunk linear layers (everything after the first
+	// freezeDepth linear layers, excluding the head).
+	linSeen := 0
+	for i := 0; i < headStart; i++ {
+		l := v.Layer(order[i].Name)
+		if l.Op.Class() != graph.ClassLinear {
+			continue
+		}
+		linSeen++
+		if linSeen <= freezeDepth || tuneFrac == 0 {
+			continue
+		}
+		for _, pname := range l.ParamNames() {
+			if pname == "Var" || pname == "Mean" {
+				continue
+			}
+			p := l.Params[pname]
+			for j, val := range p.Data() {
+				p.Data()[j] = val + tuneFrac*rng.NormFloat64()*(math.Abs(val)+1e-3)
+			}
+		}
+	}
+
+	// Replace the head with a fresh one of the requested width.
+	head := v.Layer(order[headStart].Name)
+	inDim := head.Param("W").Shape()[1]
+	head.Attrs.Units = headClasses
+	w := tensor.New(headClasses, inDim)
+	rng.FillXavier(w)
+	head.Params["W"] = w
+	head.Params["B"] = tensor.New(headClasses)
+	v.OutputLabels = Classes(headClasses)
+	if v.Metadata == nil {
+		v.Metadata = map[string]string{}
+	}
+	v.Metadata["transferred-from"] = base.Name
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("zoo: transfer produced invalid model: %w", err)
+	}
+	return v, nil
+}
+
+// PaperScaleDense builds a plain dense stack whose parameter count is
+// approximately targetParams — used to reproduce Table 2 at the paper's
+// model sizes (62M…340M) or any scaled-down fraction.
+func PaperScaleDense(name string, targetParams int64, depth int, seed uint64) (*graph.Model, error) {
+	if depth <= 0 {
+		depth = 8
+	}
+	// params ≈ depth * w² for square layers.
+	w := int(math.Sqrt(float64(targetParams) / float64(depth)))
+	if w < 4 {
+		w = 4
+	}
+	b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{w}, tensor.NewRNG(seed))
+	for i := 0; i < depth; i++ {
+		b.Dense(w)
+		b.ReLU()
+	}
+	b.Dense(16)
+	b.Softmax()
+	b.Labels(Classes(16))
+	b.Meta("family", "paper-scale")
+	return b.Build()
+}

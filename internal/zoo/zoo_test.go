@@ -1,0 +1,372 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"sommelier/internal/equiv"
+	"sommelier/internal/graph"
+	"sommelier/internal/nn"
+	"sommelier/internal/resource"
+	"sommelier/internal/tensor"
+)
+
+func TestAllFamiliesBuildAndRun(t *testing.T) {
+	for _, fam := range Families() {
+		m, err := Build(fam, Config{Name: "f-" + fam, Seed: 3})
+		if err != nil {
+			t.Fatalf("building %s: %v", fam, err)
+		}
+		e, err := nn.NewExecutor(m)
+		if err != nil {
+			t.Fatalf("executor %s: %v", fam, err)
+		}
+		x := tensor.New(m.InputShape...)
+		tensor.NewRNG(1).FillNormal(x, 0, 1)
+		out, err := e.Forward(x)
+		if err != nil {
+			t.Fatalf("forward %s: %v", fam, err)
+		}
+		if math.Abs(out.Sum()-1) > 1e-9 {
+			t.Fatalf("%s output not a distribution: sum=%g", fam, out.Sum())
+		}
+	}
+}
+
+func TestBuildUnknownFamily(t *testing.T) {
+	if _, err := Build("alexnet", Config{}); err == nil {
+		t.Fatal("expected unknown-family error")
+	}
+}
+
+func TestPerturbZeroIsClone(t *testing.T) {
+	m, err := DenseResidualNet(Config{Name: "p", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Perturb(m, "v", 0, 2)
+	if v.Name != "v" {
+		t.Fatalf("name = %q", v.Name)
+	}
+	for _, l := range m.Layers {
+		for pname, p := range l.Params {
+			if tensor.L2Distance(p, v.Layer(l.Name).Param(pname)) != 0 {
+				t.Fatalf("zero perturbation changed %s/%s", l.Name, pname)
+			}
+		}
+	}
+}
+
+func TestPerturbPreservesBatchNormStats(t *testing.T) {
+	m, err := MobileNetish(Config{Name: "bn", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Perturb(m, "v", 0.5, 3)
+	for _, l := range m.Layers {
+		if l.Op != graph.OpBatchNorm {
+			continue
+		}
+		for _, pname := range []string{"Mean", "Var"} {
+			if tensor.L2Distance(l.Param(pname), v.Layer(l.Name).Param(pname)) != 0 {
+				t.Fatalf("perturb touched BatchNorm %s", pname)
+			}
+		}
+	}
+}
+
+func TestCalibratedVariantHitsTarget(t *testing.T) {
+	m, err := DenseResidualNet(Config{Name: "cal", Seed: 5, Width: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	probes := probeInputs(m.InputShape, 400, rng)
+	for _, target := range []float64{0.05, 0.15, 0.3} {
+		_, dis, err := CalibratedVariant(m, "v", target, probes, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dis-target) > 0.05 {
+			t.Fatalf("target %g achieved %g", target, dis)
+		}
+	}
+}
+
+func TestCalibratedVariantZeroTarget(t *testing.T) {
+	m, err := DenseResidualNet(Config{Name: "z", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, dis, err := CalibratedVariant(m, "v0", 0, nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis != 0 || v.Name != "v0" {
+		t.Fatalf("zero-target variant: %g, %q", dis, v.Name)
+	}
+	if _, _, err := CalibratedVariant(m, "bad", 1.5, nil, 9); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestTransferSharesTrunkSegments(t *testing.T) {
+	base, err := DenseResidualNet(Config{Name: "tbase", Seed: 10, Width: 24, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Transfer(base, "downstream", 12, 99, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := v.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 12 {
+		t.Fatalf("head width = %d", out[0])
+	}
+	if v.Metadata["transferred-from"] != "tbase" {
+		t.Fatal("lineage metadata missing")
+	}
+	// The frozen trunk must be detected as a common segment.
+	pairs, err := equiv.CommonSegments(base, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("transfer trunk not detected as common segment")
+	}
+	// With full freeze, the trunk weights are identical → bound ~0.
+	bound, err := equiv.PropagateBound(pairs[0], 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > 1e-9 {
+		t.Fatalf("frozen trunk bound = %g", bound)
+	}
+}
+
+func TestTransferFineTuningMovesUnfrozenLayers(t *testing.T) {
+	base, err := DenseResidualNet(Config{Name: "ft", Seed: 12, Width: 24, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Transfer(base, "tuned", 8, 1, 0.2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, frozen := 0, 0
+	linSeen := 0
+	order, _ := base.TopoSort()
+	for _, l := range order {
+		if l.Op.Class() != graph.ClassLinear {
+			continue
+		}
+		vl := v.Layer(l.Name)
+		if vl.Attrs.Units != l.Attrs.Units {
+			continue // replaced head
+		}
+		linSeen++
+		d := tensor.L2Distance(l.Param("W"), vl.Param("W"))
+		if linSeen == 1 {
+			if d != 0 {
+				t.Fatal("frozen first layer moved")
+			}
+			frozen++
+		} else if d > 0 {
+			moved++
+		}
+	}
+	if frozen == 0 || moved == 0 {
+		t.Fatalf("freeze/tune split wrong: frozen=%d moved=%d", frozen, moved)
+	}
+}
+
+func TestInflatePreservesFunction(t *testing.T) {
+	m, err := DenseResidualNet(Config{Name: "inf", Seed: 14, Width: 24, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Inflate(m, "inf-big", 24, 48, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ParamCount() <= m.ParamCount()*2 {
+		t.Fatalf("inflation did not grow params: %d vs %d", big.ParamCount(), m.ParamCount())
+	}
+	em, err := nn.NewExecutor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := nn.NewExecutor(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := probeInputs(m.InputShape, 200, tensor.NewRNG(16))
+	agree, err := nn.AgreementRatio(em, eb, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree < 0.95 {
+		t.Fatalf("inflated model agreement = %g", agree)
+	}
+	// Resource profile must genuinely grow.
+	prof := resource.NewProfiler(nil)
+	pm, err := prof.Measure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := prof.Measure(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.FLOPs <= pm.FLOPs || pb.MemoryBytes <= pm.MemoryBytes {
+		t.Fatal("inflated model not more expensive")
+	}
+}
+
+func TestInflateRejectsShrink(t *testing.T) {
+	m, err := DenseResidualNet(Config{Name: "s", Seed: 17, Width: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inflate(m, "x", 24, 16, 1); err == nil {
+		t.Fatal("expected shrink error")
+	}
+}
+
+func TestCorrelatedCohortFigure3Shape(t *testing.T) {
+	cohort, err := CorrelatedCohort(16, 8, 3, 0.25, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cohort.Models) != 3 {
+		t.Fatalf("cohort size %d", len(cohort.Models))
+	}
+	probes := probeInputs(cohort.Teacher.InputShape, 300, tensor.NewRNG(21))
+	te, err := nn.NewExecutor(cohort.Teacher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := make([]*nn.Executor, len(cohort.Models))
+	for i, m := range cohort.Models {
+		execs[i], err = nn.NewExecutor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pairwise agreement between cohort models must exceed each model's
+	// accuracy (agreement with the teacher) — Figure 3's phenomenon.
+	var minPair, maxAcc float64 = 1, 0
+	for i := range execs {
+		acc, err := nn.AgreementRatio(execs[i], te, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc > maxAcc {
+			maxAcc = acc
+		}
+		for j := i + 1; j < len(execs); j++ {
+			p, err := nn.AgreementRatio(execs[i], execs[j], probes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < minPair {
+				minPair = p
+			}
+		}
+	}
+	if minPair <= maxAcc {
+		t.Fatalf("cohort agreement (%.3f) should exceed accuracy (%.3f)", minPair, maxAcc)
+	}
+}
+
+func TestSyntheticRepositorySpread(t *testing.T) {
+	repo, err := SyntheticRepository(2, 5, 0.1, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Bases) != 2 || len(repo.Entries) != 10 {
+		t.Fatalf("sizes: %d bases, %d entries", len(repo.Bases), len(repo.Entries))
+	}
+	for _, e := range repo.Entries {
+		if e.TrueDiff < 0 || e.TrueDiff > 0.2 {
+			t.Fatalf("entry %s diff %g outside expected band", e.Model.Name, e.TrueDiff)
+		}
+		if e.Model.Metadata["series"] == "" {
+			t.Fatal("entry missing series metadata")
+		}
+	}
+	if _, err := SyntheticRepository(0, 1, 0.1, 1); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestCatalogStructure(t *testing.T) {
+	cfg := CatalogConfig{NumSeries: 6, MinPerSeries: 3, MaxPerSeries: 4, NumTrunks: 2, Seed: 23}
+	series, err := Catalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series count %d", len(series))
+	}
+	trunkGroups := map[string]int{}
+	total := 0
+	for _, s := range series {
+		if len(s.Models) < 3 || len(s.Models) > 4 {
+			t.Fatalf("series %s has %d models", s.Name, len(s.Models))
+		}
+		trunkGroups[s.Trunk]++
+		total += len(s.Models)
+		for _, m := range s.Models {
+			if m.Metadata["series"] != s.Name {
+				t.Fatalf("model %s series metadata %q", m.Name, m.Metadata["series"])
+			}
+		}
+	}
+	if len(trunkGroups) != 2 {
+		t.Fatalf("trunk groups = %d", len(trunkGroups))
+	}
+	if total < 18 {
+		t.Fatalf("total models = %d", total)
+	}
+}
+
+func TestSizeLadderMonotoneResources(t *testing.T) {
+	teacher, err := DenseResidualNet(Config{Name: "lt", Seed: 24, Width: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := SizeLadder("bitish", teacher, 24, []int{24, 32, 48}, []float64{0.1, 0.06, 0.03}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := resource.NewProfiler(nil)
+	var prev int64 = -1
+	for _, m := range ladder {
+		p, err := prof.Measure(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FLOPs <= prev {
+			t.Fatalf("ladder FLOPs not increasing: %d after %d", p.FLOPs, prev)
+		}
+		prev = p.FLOPs
+	}
+	if _, err := SizeLadder("x", teacher, 24, []int{16}, []float64{0.1}, 1); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestPaperScaleDenseHitsTarget(t *testing.T) {
+	m, err := PaperScaleDense("bertish", 1_000_000, 8, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ParamCount()
+	if got < 800_000 || got > 1_300_000 {
+		t.Fatalf("param count %d for target 1M", got)
+	}
+}
