@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector — the concurrent
+# breaker, LRU-cache and retry paths in internal/hub depend on it. The
+# experiment-reproduction packages slow down ~10x under race, so the
+# per-package timeout is raised above go test's 10m default.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# check is the CI gate: vet plus the race-detector test run.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

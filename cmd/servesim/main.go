@@ -1,9 +1,12 @@
 // Command servesim runs the inference-serving simulation behind Figure
 // 9(c) with tunable workload knobs, printing latency percentiles and
 // model shares for the four configurations (fixed baseline, scale-out,
-// Sommelier switching, combined).
+// Sommelier switching, combined). A switch-failure probability subjects
+// the switching configurations to a fault model: failed switches fall
+// back to the previously deployed model and are reported per run.
 //
 //	servesim -requests 50000 -arrival 22 -burst-factor 8
+//	servesim -switch-fail 0.3            # re-examine Fig. 9(c) under faults
 package main
 
 import (
@@ -23,6 +26,7 @@ func main() {
 		burstLen    = flag.Int("burst-len", 80, "requests per burst")
 		burstFactor = flag.Float64("burst-factor", 3.5, "burst arrival-rate multiplier")
 		switchStep  = flag.Int("switch-step", 4, "queue-length step between model downgrades")
+		switchFail  = flag.Float64("switch-fail", 0, "probability a model switch fails (falls back to the deployed model)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -43,23 +47,34 @@ func main() {
 		BurstFactor:   *burstFactor,
 		Seed:          *seed,
 	}
-	cmp, err := serving.RunComparison(w, candidates, *switchStep)
+	fm := serving.FailureModel{SwitchFailProb: *switchFail, Seed: *seed + 1}
+	cmp, err := serving.RunComparisonWithFailures(w, candidates, *switchStep, fm)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "servesim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload: %d requests, mean gap %.1fms, bursts x%.0f every %d\n\n",
-		*requests, *arrival, *burstFactor, *burstEvery)
-	fmt.Printf("%-22s %8s %8s %8s %8s %11s  %s\n",
-		"CONFIGURATION", "P50", "P90", "P99", "MAX", "MEAN-LEVEL", "MODEL SHARE")
+	fmt.Printf("workload: %d requests, mean gap %.1fms, bursts x%.0f every %d", *requests, *arrival, *burstFactor, *burstEvery)
+	if *switchFail > 0 {
+		fmt.Printf(", switch failure p=%.2f", *switchFail)
+	}
+	fmt.Printf("\n\n")
+	fmt.Printf("%-22s %8s %8s %8s %8s %11s %9s  %s\n",
+		"CONFIGURATION", "P50", "P90", "P99", "MAX", "MEAN-LEVEL", "SW-FAIL", "MODEL SHARE")
 	for _, r := range []serving.Result{cmp.Baseline, cmp.ScaleOut, cmp.Switching, cmp.Combined} {
 		s := r.Summary()
-		fmt.Printf("%-22s %8.1f %8.1f %8.1f %8.1f %11.3f  %v\n",
-			r.PolicyName, s.P50, s.P90, s.P99, s.MaxV, r.MeanLevel, serving.SortedModelShare(r))
+		rep := serving.Degradation(r)
+		fmt.Printf("%-22s %8.1f %8.1f %8.1f %8.1f %11.3f %4d/%-4d  %v\n",
+			r.PolicyName, s.P50, s.P90, s.P99, s.MaxV, r.MeanLevel,
+			rep.FailedSwitches, rep.SwitchAttempts, serving.SortedModelShare(r))
 	}
 	p90b := stats.Percentile(cmp.Baseline.Latencies, 90)
 	p90s := stats.Percentile(cmp.Switching.Latencies, 90)
 	p90o := stats.Percentile(cmp.ScaleOut.Latencies, 90)
 	fmt.Printf("\np90 reduction vs baseline: switching %.1fx, scale-out %.2fx\n", p90b/p90s, p90b/p90o)
+	if *switchFail > 0 {
+		rep := serving.Degradation(cmp.Switching)
+		fmt.Printf("switching degraded gracefully: %d/%d switches failed (%.0f%%), requests kept serving on the deployed model\n",
+			rep.FailedSwitches, rep.SwitchAttempts, 100*rep.FailureShare)
+	}
 }

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,9 @@ func main() {
 		loadIndex   = flag.String("load-index", "", "restore index state from a snapshot file instead of re-analyzing")
 		saveIndex   = flag.String("save-index", "", "write index state to a snapshot file after indexing")
 		seed        = flag.Uint64("seed", 7, "random seed")
+		hubTimeout  = flag.Duration("hub-timeout", hub.DefaultTimeout, "per-request hub timeout")
+		hubRetries  = flag.Int("hub-retries", hub.DefaultRetries, "retries for idempotent hub requests")
+		hubCacheCap = flag.Int("hub-cache", hub.DefaultCacheCap, "hub client model-cache cap (LRU entries, <=0 unbounded)")
 	)
 	flag.Parse()
 
@@ -46,12 +50,20 @@ func main() {
 		fatal(err)
 	}
 	if *hubURL != "" {
-		client, err := hub.NewClient(*hubURL, nil)
+		client, err := hub.NewClient(*hubURL, nil,
+			hub.WithTimeout(*hubTimeout),
+			hub.WithRetries(*hubRetries),
+			hub.WithCacheCap(*hubCacheCap))
 		if err != nil {
 			fatal(err)
 		}
 		n, err := client.Mirror(store)
-		if err != nil {
+		// A partially mirrored hub is still a usable repository: warn
+		// about the lost models and index what arrived.
+		var merr *hub.MirrorError
+		if errors.As(err, &merr) {
+			fmt.Fprintf(os.Stderr, "sommelier: warning: %v\n", merr)
+		} else if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("mirrored %d models from %s\n", n, *hubURL)

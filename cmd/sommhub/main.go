@@ -2,15 +2,24 @@
 // publish/load/list interface existing hubs expose (§2.1). Point the
 // sommelier CLI at it with -hub to index a remote repository.
 //
+// The server is hardened for unattended operation: PUT bodies are
+// size-capped, /v1/healthz reports liveness, header reads are bounded,
+// and SIGINT/SIGTERM drain in-flight requests before exiting.
+//
 //	sommhub -repo ./models -listen :8750 -seed-demo
 //	sommelier -hub http://localhost:8750 -query '...'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sommelier/internal/dataset"
 	"sommelier/internal/hub"
@@ -20,10 +29,12 @@ import (
 
 func main() {
 	var (
-		repoDir  = flag.String("repo", "", "repository directory (empty = in-memory)")
-		listen   = flag.String("listen", ":8750", "listen address")
-		seedDemo = flag.Bool("seed-demo", false, "populate with a demo model family")
-		seed     = flag.Uint64("seed", 7, "random seed for demo models")
+		repoDir      = flag.String("repo", "", "repository directory (empty = in-memory)")
+		listen       = flag.String("listen", ":8750", "listen address")
+		seedDemo     = flag.Bool("seed-demo", false, "populate with a demo model family")
+		seed         = flag.Uint64("seed", 7, "random seed for demo models")
+		maxBodyMB    = flag.Int64("max-body-mb", 64, "PUT body size limit in MiB")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
@@ -42,13 +53,37 @@ func main() {
 		fmt.Printf("seeded %d demo models\n", store.Len())
 	}
 
-	srv, err := hub.NewServer(store)
+	srv, err := hub.NewServer(store, hub.WithMaxBodyBytes(*maxBodyMB<<20))
 	if err != nil {
 		fatal(err)
 	}
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("sommhub serving %d models on %s\n", store.Len(), *listen)
-	if err := http.ListenAndServe(*listen, srv); err != nil {
-		fatal(err)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		fmt.Println("sommhub: draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		fmt.Println("sommhub: stopped cleanly")
 	}
 }
 

@@ -1,0 +1,167 @@
+// Package faults is a deterministic fault-injection framework for the
+// hub and serving layers. A seeded Injector decides, per operation,
+// whether to inject a connection error, a 5xx server error, a latency
+// spike, or a truncated response body — at configurable rates — so every
+// failure mode the resilience layer must survive is reproducible in
+// tests: the same seed and config always yield the same fault sequence.
+//
+// The injector is exposed through two wrappers:
+//
+//   - Transport, an http.RoundTripper decorator that injects faults into
+//     HTTP traffic (the remote-hub path of §6);
+//   - FlakyStore, a repo-surface decorator that injects faults into
+//     direct repository calls (the local-hub path).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind identifies one injectable failure mode.
+type Kind int
+
+const (
+	// None: the operation proceeds untouched.
+	None Kind = iota
+	// ConnError: the operation fails with a transport-level error
+	// before reaching the backend.
+	ConnError
+	// ServerError: the backend is replaced by a 503 response (or an
+	// opaque internal error on the repo surface).
+	ServerError
+	// Latency: the operation is delayed by Config.Latency, then
+	// proceeds normally.
+	Latency
+	// Truncate: the operation reaches the backend but its response body
+	// is cut in half, corrupting the payload.
+	Truncate
+)
+
+// String names the fault kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case ConnError:
+		return "conn-error"
+	case ServerError:
+		return "server-error"
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected is wrapped by every error the injector fabricates, so
+// tests can tell injected faults from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// Config sets the per-operation probability of each fault kind. The
+// rates must each lie in [0,1] and sum to at most 1; the remainder is
+// the probability of an untouched operation.
+type Config struct {
+	// Seed drives the fault sequence; equal seeds and rates produce
+	// equal sequences.
+	Seed uint64
+	// ConnErrorRate is the probability of a transport-level failure.
+	ConnErrorRate float64
+	// ServerErrorRate is the probability of a 503 / internal error.
+	ServerErrorRate float64
+	// LatencyRate is the probability of a latency spike of Latency.
+	LatencyRate float64
+	// Latency is the injected delay for Latency faults.
+	Latency time.Duration
+	// TruncateRate is the probability of a truncated response body.
+	TruncateRate float64
+}
+
+// Counts tallies operations seen and faults injected, by kind.
+type Counts struct {
+	Operations   int64
+	ConnErrors   int64
+	ServerErrors int64
+	Latencies    int64
+	Truncations  int64
+}
+
+// Injected returns the total number of injected faults.
+func (c Counts) Injected() int64 {
+	return c.ConnErrors + c.ServerErrors + c.Latencies + c.Truncations
+}
+
+// Injector draws a fault decision per operation from a seeded stream.
+// It is safe for concurrent use; under concurrency the set of drawn
+// faults is still determined by the seed, though their assignment to
+// operations follows scheduling order.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+// NewInjector validates the config and returns a seeded injector.
+func NewInjector(cfg Config) (*Injector, error) {
+	rates := []float64{cfg.ConnErrorRate, cfg.ServerErrorRate, cfg.LatencyRate, cfg.TruncateRate}
+	sum := 0.0
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("faults: rate %v outside [0,1]", r)
+		}
+		sum += r
+	}
+	if sum > 1 {
+		return nil, fmt.Errorf("faults: rates sum to %v > 1", sum)
+	}
+	if cfg.LatencyRate > 0 && cfg.Latency <= 0 {
+		return nil, fmt.Errorf("faults: latency rate set without a positive latency")
+	}
+	return &Injector{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(int64(cfg.Seed))),
+	}, nil
+}
+
+// Next draws the fault decision for the next operation.
+func (in *Injector) Next() Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts.Operations++
+	u := in.rng.Float64()
+	switch {
+	case u < in.cfg.ConnErrorRate:
+		in.counts.ConnErrors++
+		return ConnError
+	case u < in.cfg.ConnErrorRate+in.cfg.ServerErrorRate:
+		in.counts.ServerErrors++
+		return ServerError
+	case u < in.cfg.ConnErrorRate+in.cfg.ServerErrorRate+in.cfg.LatencyRate:
+		in.counts.Latencies++
+		return Latency
+	case u < in.cfg.ConnErrorRate+in.cfg.ServerErrorRate+in.cfg.LatencyRate+in.cfg.TruncateRate:
+		in.counts.Truncations++
+		return Truncate
+	}
+	return None
+}
+
+// Counts returns a snapshot of the injection tallies.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Latency returns the configured injected delay.
+func (in *Injector) Latency() time.Duration { return in.cfg.Latency }
+
+func injectedErr(kind Kind, op string) error {
+	return fmt.Errorf("faults: %s on %s: %w", kind, op, ErrInjected)
+}

@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/repo"
+	"sommelier/internal/tensor"
+)
+
+func testModel(t testing.TB, name string, seed uint64) *graph.Model {
+	t.Helper()
+	b := graph.NewBuilder(name, graph.TaskClassification, tensor.Shape{4}, tensor.NewRNG(seed))
+	b.Dense(5)
+	b.ReLU()
+	b.Dense(3)
+	b.Softmax()
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{ConnErrorRate: -0.1},
+		{ConnErrorRate: 1.2},
+		{ConnErrorRate: 0.6, ServerErrorRate: 0.6},
+		{LatencyRate: 0.5}, // latency rate without a latency
+	}
+	for _, cfg := range cases {
+		if _, err := NewInjector(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	if _, err := NewInjector(Config{ConnErrorRate: 0.3, ServerErrorRate: 0.3, TruncateRate: 0.2}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, ConnErrorRate: 0.2, ServerErrorRate: 0.2, TruncateRate: 0.1}
+	a, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ka, kb)
+		}
+	}
+	// A different seed produces a different sequence.
+	cfg.Seed = 43
+	c, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	d, _ := NewInjector(Config{Seed: 42, ConnErrorRate: 0.2, ServerErrorRate: 0.2, TruncateRate: 0.1})
+	for i := 0; i < 1000; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	cfg := Config{Seed: 7, ConnErrorRate: 0.15, ServerErrorRate: 0.1, TruncateRate: 0.05}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Next()
+	}
+	c := in.Counts()
+	if c.Operations != n {
+		t.Fatalf("operations = %d", c.Operations)
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want float64
+	}{
+		{"conn", c.ConnErrors, 0.15},
+		{"server", c.ServerErrors, 0.1},
+		{"truncate", c.Truncations, 0.05},
+	}
+	for _, ch := range checks {
+		frac := float64(ch.got) / n
+		if math.Abs(frac-ch.want) > 0.02 {
+			t.Errorf("%s rate = %.3f, want ~%.2f", ch.name, frac, ch.want)
+		}
+	}
+	if got, want := c.Injected(), c.ConnErrors+c.ServerErrors+c.Truncations; got != want {
+		t.Errorf("Injected() = %d, want %d", got, want)
+	}
+}
+
+// alwaysInjector returns an injector whose first draws are all of one
+// kind, by setting that kind's rate to 1.
+func alwaysInjector(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestTransportConnError(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	in := alwaysInjector(t, Config{ConnErrorRate: 1})
+	client := &http.Client{Transport: NewTransport(nil, in)}
+	_, err := client.Get(ts.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if hits != 0 {
+		t.Fatal("conn-error fault reached the backend")
+	}
+}
+
+func TestTransportServerError(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	in := alwaysInjector(t, Config{ServerErrorRate: 1})
+	client := &http.Client{Transport: NewTransport(nil, in)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatal("server-error fault reached the backend")
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	const payload = "0123456789abcdef"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+	in := alwaysInjector(t, Config{TruncateRate: 1})
+	client := &http.Client{Transport: NewTransport(nil, in)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload[:len(payload)/2] {
+		t.Fatalf("body = %q, want first half of %q", got, payload)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	in := alwaysInjector(t, Config{LatencyRate: 1, Latency: 30 * time.Millisecond})
+	client := &http.Client{Transport: NewTransport(nil, in)}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency fault not applied: %v", elapsed)
+	}
+	if in.Counts().Latencies != 1 {
+		t.Fatal("latency not counted")
+	}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	in := alwaysInjector(t, Config{}) // no faults
+	client := &http.Client{Transport: NewTransport(nil, in)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "ok" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestFlakyStoreInjectsErrors(t *testing.T) {
+	in := alwaysInjector(t, Config{ConnErrorRate: 1})
+	fs := NewFlakyStore(repo.NewInMemory(), in)
+	if _, err := fs.Publish(testModel(t, "m", 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Publish err = %v", err)
+	}
+	if _, err := fs.Load("m@1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Load err = %v", err)
+	}
+	if err := fs.Delete("m@1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Delete err = %v", err)
+	}
+}
+
+func TestFlakyStorePassThrough(t *testing.T) {
+	in := alwaysInjector(t, Config{})
+	store := repo.NewInMemory()
+	fs := NewFlakyStore(store, in)
+	id, err := fs.Publish(testModel(t, "ok", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.List()) != 1 || fs.Len() != 1 {
+		t.Fatal("list/len mismatch")
+	}
+	if _, ok := fs.Metadata(id); !ok {
+		t.Fatal("metadata missing")
+	}
+	if err := fs.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("delete did not reach inner store")
+	}
+}
+
+func TestErrorStringsNameTheFault(t *testing.T) {
+	err := injectedErr(ServerError, "load x@1")
+	if !strings.Contains(err.Error(), "server-error") || !strings.Contains(err.Error(), "load x@1") {
+		t.Fatalf("err = %v", err)
+	}
+}

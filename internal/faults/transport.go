@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport decorates an http.RoundTripper with injected faults: the
+// standard way to make a hub client see a flaky network without a flaky
+// network. Wrap a client's transport and every request rolls the
+// injector's dice.
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the
+// injector.
+func NewTransport(inner http.RoundTripper, inj *Injector) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, inj: inj}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.inj.Next() {
+	case ConnError:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, injectedErr(ConnError, req.Method+" "+req.URL.Path)
+	case ServerError:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := "injected server error"
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        make(http.Header),
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Latency:
+		time.Sleep(t.inj.Latency())
+		return t.inner.RoundTrip(req)
+	case Truncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return truncateBody(resp)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// truncateBody replaces the response body with its first half, the way
+// a connection dropped mid-transfer leaves a partial payload.
+func truncateBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	half := data[:len(data)/2]
+	resp.Body = io.NopCloser(bytes.NewReader(half))
+	resp.ContentLength = int64(len(half))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}

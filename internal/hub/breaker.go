@@ -1,0 +1,122 @@
+package hub
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when the client's circuit
+// breaker is open: the hub has failed repeatedly and the client refuses
+// to send more traffic until the cooldown elapses.
+var ErrCircuitOpen = errors.New("hub: circuit breaker open")
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker: it trips open after
+// `threshold` consecutive failed operations, rejects traffic for
+// `cooldown`, then half-opens to let exactly one probe through. A
+// successful probe closes the circuit; a failed one re-opens it for
+// another cooldown. A threshold <= 0 disables the breaker.
+//
+// Failures here mean transport-level or 5xx outcomes — a 4xx means the
+// hub is alive and counts as a success for breaker purposes.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	opens       int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether an operation may proceed, transitioning
+// open→half-open once the cooldown has elapsed.
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return nil
+	case stateHalfOpen:
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// success records a completed operation and closes the circuit.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// failure records a failed operation, tripping the breaker at the
+// threshold or re-opening it from half-open.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+		b.openedAt = b.now()
+		b.opens++
+		return
+	}
+	b.consecutive++
+	if b.state == stateClosed && b.consecutive >= b.threshold {
+		b.state = stateOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// snapshot returns the current state and total trip count.
+func (b *breaker) snapshot() (state int, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}
+
+func stateName(s int) string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

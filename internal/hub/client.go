@@ -2,32 +2,122 @@ package hub
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sommelier/internal/graph"
 	"sommelier/internal/repo"
 )
 
+// Resilience defaults. The paper's serving case study (§7.1) assumes
+// the hub is always up; these knobs make the client survive the hubs
+// one actually meets over a network.
+const (
+	// DefaultTimeout bounds each HTTP attempt.
+	DefaultTimeout = 10 * time.Second
+	// DefaultRetries is the number of re-attempts after a failed
+	// idempotent GET (so up to DefaultRetries+1 attempts total).
+	DefaultRetries = 4
+	// DefaultBaseBackoff and DefaultMaxBackoff bound the exponential
+	// backoff between retries; the actual sleep is drawn uniformly from
+	// [0, min(max, base<<attempt)] (full jitter).
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+	// DefaultBreakerThreshold consecutive failed operations trip the
+	// circuit breaker; DefaultBreakerCooldown later it half-opens.
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
+	// DefaultCacheCap bounds the client's model cache (LRU eviction).
+	DefaultCacheCap = 1024
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout sets the per-attempt request timeout.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithRetries sets how many times idempotent GETs are re-attempted
+// after a transient failure.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the exponential-backoff base and cap for retries.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithBreaker sets the circuit breaker's consecutive-failure threshold
+// and open-state cooldown. A threshold <= 0 disables the breaker.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) { c.breakerThreshold, c.breakerCooldown = threshold, cooldown }
+}
+
+// WithCacheCap bounds the model cache to n entries (LRU eviction);
+// n <= 0 means unbounded.
+func WithCacheCap(n int) Option { return func(c *Client) { c.cacheCap = n } }
+
+// Stats reports the client's resilience counters.
+type Stats struct {
+	// Retries is the total number of re-attempts performed.
+	Retries int64
+	// StaleLoads counts Loads served from cache while the breaker was
+	// not closed — i.e. knowingly stale reads during an outage.
+	StaleLoads int64
+	// StaleLists counts Lists served from the last-known-good snapshot
+	// because the hub was unreachable.
+	StaleLists int64
+	// BreakerState is "closed", "open" or "half-open".
+	BreakerState string
+	// BreakerOpens is how many times the breaker has tripped.
+	BreakerOpens int64
+	// CachedModels is the current model-cache population.
+	CachedModels int
+}
+
 // Client accesses a remote hub with the same surface as a local
 // repo.Repository (publish/load/list/delete), caching fetched models so
 // repeated Loads — the indexing hot path — hit the network once.
+//
+// The client is resilient by default: every attempt carries a context
+// timeout, idempotent GETs are retried with exponential backoff and
+// full jitter on transport/5xx/corrupt-body failures, a circuit breaker
+// sheds traffic after consecutive failures, and reads degrade gracefully
+// — Load serves cached models and List serves its last-known-good
+// snapshot (counted in Stats as stale) when the hub is unreachable.
 type Client struct {
 	base string
 	http *http.Client
 
-	mu    sync.RWMutex
-	cache map[string]*graph.Model
+	timeout                 time.Duration
+	retries                 int
+	backoffBase, backoffMax time.Duration
+	breakerThreshold        int
+	breakerCooldown         time.Duration
+	cacheCap                int
+	breaker                 *breaker
+	retryCount              atomic.Int64
+	staleLoads, staleLists  atomic.Int64
+
+	mu       sync.Mutex
+	cache    *modelLRU
+	lastList []repo.Metadata
 }
 
 // NewClient returns a client for a hub at baseURL (e.g.
-// "http://hub:8080"). httpClient may be nil for http.DefaultClient.
-func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+// "http://hub:8080"). httpClient may be nil for http.DefaultClient;
+// options override the resilience defaults above.
+func NewClient(baseURL string, httpClient *http.Client, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("hub: invalid base URL %q", baseURL)
@@ -35,18 +125,148 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		http:  httpClient,
-		cache: make(map[string]*graph.Model),
-	}, nil
+	c := &Client{
+		base:             strings.TrimRight(baseURL, "/"),
+		http:             httpClient,
+		timeout:          DefaultTimeout,
+		retries:          DefaultRetries,
+		backoffBase:      DefaultBaseBackoff,
+		backoffMax:       DefaultMaxBackoff,
+		breakerThreshold: DefaultBreakerThreshold,
+		breakerCooldown:  DefaultBreakerCooldown,
+		cacheCap:         DefaultCacheCap,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.timeout <= 0 {
+		return nil, fmt.Errorf("hub: non-positive timeout")
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	c.breaker = newBreaker(c.breakerThreshold, c.breakerCooldown)
+	c.cache = newModelLRU(c.cacheCap)
+	return c, nil
+}
+
+// Stats returns a snapshot of the resilience counters.
+func (c *Client) Stats() Stats {
+	state, opens := c.breaker.snapshot()
+	c.mu.Lock()
+	cached := c.cache.len()
+	c.mu.Unlock()
+	return Stats{
+		Retries:      c.retryCount.Load(),
+		StaleLoads:   c.staleLoads.Load(),
+		StaleLists:   c.staleLists.Load(),
+		BreakerState: stateName(state),
+		BreakerOpens: opens,
+		CachedModels: cached,
+	}
 }
 
 func (c *Client) modelURL(id string) string {
 	return c.base + "/v1/models/" + url.PathEscape(id)
 }
 
-// Publish uploads a model and returns its hub ID.
+// statusError is a non-2xx hub response; only 5xx codes are transient.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryable reports whether an attempt failure is worth retrying: all
+// transport and body-corruption errors are presumed transient, and so
+// are 5xx responses; any other status means the hub answered
+// deliberately.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
+
+// do runs one logical operation against the hub through the breaker and
+// (for idempotent operations) the retry loop. build must return a fresh
+// request per attempt; handle consumes the response.
+func (c *Client) do(idempotent bool, build func() (*http.Request, error), handle func(*http.Response) error) error {
+	if err := c.breaker.allow(); err != nil {
+		return err
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.retryCount.Add(1)
+			time.Sleep(backoff(c.backoffBase, c.backoffMax, i))
+		}
+		err := c.doOnce(build, handle)
+		if err == nil {
+			c.breaker.success()
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			// The hub answered; it is alive even though it refused us.
+			c.breaker.success()
+			return err
+		}
+	}
+	c.breaker.failure()
+	return lastErr
+}
+
+func (c *Client) doOnce(build func() (*http.Request, error), handle func(*http.Response) error) error {
+	req, err := build()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), c.timeout)
+	defer cancel()
+	resp, err := c.http.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return handle(resp)
+}
+
+// backoff returns the sleep before retry attempt k (1-based):
+// exponential growth capped at max, with full jitter.
+func backoff(base, max time.Duration, k int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << (k - 1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+func buildGet(urlStr string) func() (*http.Request, error) {
+	return func() (*http.Request, error) { return http.NewRequest(http.MethodGet, urlStr, nil) }
+}
+
+func expectStatus(resp *http.Response, want int) error {
+	if resp.StatusCode != want {
+		return &statusError{code: resp.StatusCode, msg: readError(resp)}
+	}
+	return nil
+}
+
+// Publish uploads a model and returns its hub ID. Publishes are not
+// retried — PUT against a bare-bone hub is not guaranteed idempotent.
 func (c *Client) Publish(m *graph.Model) (string, error) {
 	if err := m.Validate(); err != nil {
 		return "", fmt.Errorf("hub: refusing invalid model: %w", err)
@@ -56,112 +276,167 @@ func (c *Client) Publish(m *graph.Model) (string, error) {
 	if err := graph.Encode(&buf, m); err != nil {
 		return "", fmt.Errorf("hub: encoding: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPut, c.modelURL(id), &buf)
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/x-somx")
-	resp, err := c.http.Do(req)
+	data := buf.Bytes()
+	err := c.do(false,
+		func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPut, c.modelURL(id), bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/x-somx")
+			return req, nil
+		},
+		func(resp *http.Response) error { return expectStatus(resp, http.StatusCreated) })
 	if err != nil {
 		return "", fmt.Errorf("hub: publish %s: %w", id, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return "", fmt.Errorf("hub: publish %s: %s", id, readError(resp))
-	}
 	c.mu.Lock()
-	c.cache[id] = m
+	c.cache.add(id, m)
 	c.mu.Unlock()
 	return id, nil
 }
 
 // Load fetches a model by ID, serving repeats from the local cache.
+// When the hub is down, previously fetched models keep loading from
+// cache (counted as stale in Stats while the breaker is not closed);
+// unseen models fail fast with ErrCircuitOpen once the breaker trips.
 func (c *Client) Load(id string) (*graph.Model, error) {
-	c.mu.RLock()
-	m, ok := c.cache[id]
-	c.mu.RUnlock()
+	c.mu.Lock()
+	m, ok := c.cache.get(id)
+	c.mu.Unlock()
 	if ok {
+		if state, _ := c.breaker.snapshot(); state != stateClosed {
+			c.staleLoads.Add(1)
+		}
 		return m, nil
 	}
-	resp, err := c.http.Get(c.modelURL(id))
-	if err != nil {
-		return nil, fmt.Errorf("hub: load %s: %w", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("hub: load %s: %s", id, readError(resp))
-	}
-	m, err = graph.Decode(resp.Body)
+	err := c.do(true, buildGet(c.modelURL(id)), func(resp *http.Response) error {
+		if err := expectStatus(resp, http.StatusOK); err != nil {
+			return err
+		}
+		var derr error
+		m, derr = graph.Decode(resp.Body)
+		return derr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("hub: load %s: %w", id, err)
 	}
 	c.mu.Lock()
-	c.cache[id] = m
+	c.cache.add(id, m)
 	c.mu.Unlock()
 	return m, nil
 }
 
-// List returns metadata for every hub model.
+// List returns metadata for every hub model. If the hub is unreachable
+// (transport/5xx failure after retries, or open breaker) and a previous
+// List succeeded, the last-known-good snapshot is returned instead and
+// counted as stale in Stats.
 func (c *Client) List() ([]repo.Metadata, error) {
-	resp, err := c.http.Get(c.base + "/v1/models")
-	if err != nil {
-		return nil, fmt.Errorf("hub: list: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("hub: list: %s", readError(resp))
-	}
-	var wire []metaJSON
-	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("hub: list: %w", err)
-	}
-	out := make([]repo.Metadata, len(wire))
-	for i, w := range wire {
-		out[i] = repo.Metadata{
-			ID: w.ID, Name: w.Name, Version: w.Version,
-			Task: graph.TaskKind(w.Task), Series: w.Series, Annotations: w.Notes,
+	var out []repo.Metadata
+	err := c.do(true, buildGet(c.base+"/v1/models"), func(resp *http.Response) error {
+		if err := expectStatus(resp, http.StatusOK); err != nil {
+			return err
 		}
+		var wire []metaJSON
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			return err
+		}
+		out = make([]repo.Metadata, len(wire))
+		for i, w := range wire {
+			out[i] = repo.Metadata{
+				ID: w.ID, Name: w.Name, Version: w.Version,
+				Task: graph.TaskKind(w.Task), Series: w.Series, Annotations: w.Notes,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		if retryable(err) || errors.Is(err, ErrCircuitOpen) {
+			c.mu.Lock()
+			last := c.lastList
+			c.mu.Unlock()
+			if last != nil {
+				c.staleLists.Add(1)
+				return append([]repo.Metadata(nil), last...), nil
+			}
+		}
+		return nil, fmt.Errorf("hub: list: %w", err)
 	}
+	c.mu.Lock()
+	c.lastList = append([]repo.Metadata(nil), out...)
+	c.mu.Unlock()
 	return out, nil
 }
 
-// Delete removes a model from the hub and the local cache.
+// Delete removes a model from the hub and the local cache. Deletes are
+// not retried.
 func (c *Client) Delete(id string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.modelURL(id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
+	err := c.do(false,
+		func() (*http.Request, error) { return http.NewRequest(http.MethodDelete, c.modelURL(id), nil) },
+		func(resp *http.Response) error { return expectStatus(resp, http.StatusNoContent) })
 	if err != nil {
 		return fmt.Errorf("hub: delete %s: %w", id, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("hub: delete %s: %s", id, readError(resp))
-	}
 	c.mu.Lock()
-	delete(c.cache, id)
+	c.cache.remove(id)
 	c.mu.Unlock()
 	return nil
 }
 
+// MirrorError aggregates the per-model failures of a partially
+// successful Mirror.
+type MirrorError struct {
+	// Errs maps model ID to the error that lost it.
+	Errs map[string]error
+}
+
+// Error lists the failed models in a stable order.
+func (e *MirrorError) Error() string {
+	ids := make([]string, 0, len(e.Errs))
+	for id := range e.Errs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id + ": " + e.Errs[id].Error()
+	}
+	return fmt.Sprintf("hub: mirror: %d model(s) failed: %s", len(ids), strings.Join(parts, "; "))
+}
+
 // Mirror copies every hub model into a local repository — the 3-line
-// migration path of §6: point Sommelier at a mirror of any hub.
+// migration path of §6: point Sommelier at a mirror of any hub. Mirror
+// tolerates partial failure: a model that cannot be fetched or stored
+// is skipped and reported, and the rest of the hub still mirrors. The
+// returned count is the number of models copied; the error is nil on
+// full success, a *MirrorError on partial success, or a plain error if
+// the hub could not even be listed.
 func (c *Client) Mirror(dst *repo.Repository) (int, error) {
 	list, err := c.List()
 	if err != nil {
 		return 0, err
 	}
 	n := 0
+	var failed map[string]error
 	for _, md := range list {
 		m, err := c.Load(md.ID)
-		if err != nil {
-			return n, err
+		if err == nil {
+			_, err = dst.Publish(m)
+			if err != nil {
+				err = fmt.Errorf("hub: mirroring %s: %w", md.ID, err)
+			}
 		}
-		if _, err := dst.Publish(m); err != nil {
-			return n, fmt.Errorf("hub: mirroring %s: %w", md.ID, err)
+		if err != nil {
+			if failed == nil {
+				failed = make(map[string]error)
+			}
+			failed[md.ID] = err
+			continue
 		}
 		n++
+	}
+	if failed != nil {
+		return n, &MirrorError{Errs: failed}
 	}
 	return n, nil
 }

@@ -1,0 +1,66 @@
+package hub
+
+import (
+	"container/list"
+
+	"sommelier/internal/graph"
+)
+
+// modelLRU is a size-capped model cache: the hub client's defense
+// against unbounded memory growth when mirroring a large hub. Not
+// safe for concurrent use — the client guards it with its own mutex.
+type modelLRU struct {
+	cap   int // <= 0 means unbounded
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	id string
+	m  *graph.Model
+}
+
+func newModelLRU(capacity int) *modelLRU {
+	return &modelLRU{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached model and marks it most-recently-used.
+func (l *modelLRU) get(id string) (*graph.Model, bool) {
+	e, ok := l.items[id]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).m, true
+}
+
+// add inserts or refreshes an entry, evicting the least-recently-used
+// entries beyond the cap.
+func (l *modelLRU) add(id string, m *graph.Model) {
+	if e, ok := l.items[id]; ok {
+		e.Value.(*lruEntry).m = m
+		l.ll.MoveToFront(e)
+		return
+	}
+	l.items[id] = l.ll.PushFront(&lruEntry{id: id, m: m})
+	for l.cap > 0 && l.ll.Len() > l.cap {
+		oldest := l.ll.Back()
+		l.ll.Remove(oldest)
+		delete(l.items, oldest.Value.(*lruEntry).id)
+	}
+}
+
+// remove drops an entry if present.
+func (l *modelLRU) remove(id string) {
+	if e, ok := l.items[id]; ok {
+		l.ll.Remove(e)
+		delete(l.items, id)
+	}
+}
+
+// len returns the number of cached models.
+func (l *modelLRU) len() int { return l.ll.Len() }

@@ -12,10 +12,12 @@
 //	GET  /v1/models/{id}       — fetch one model (SOMX)
 //	PUT  /v1/models/{id}       — publish a model (SOMX body)
 //	DELETE /v1/models/{id}     — remove a model
+//	GET  /v1/healthz           — liveness + model count (JSON)
 package hub
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -24,20 +26,52 @@ import (
 	"sommelier/internal/repo"
 )
 
+// Store is the repository surface the server needs — satisfied by
+// *repo.Repository and by fault-injecting wrappers in tests.
+type Store interface {
+	Publish(m *graph.Model) (string, error)
+	Load(id string) (*graph.Model, error)
+	Delete(id string) error
+	List() []repo.Metadata
+	Metadata(id string) (repo.Metadata, bool)
+	Len() int
+}
+
+// DefaultMaxBodyBytes caps PUT bodies; a bare-bone hub should not be
+// taken down by one oversized (or unbounded) upload.
+const DefaultMaxBodyBytes int64 = 64 << 20
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxBodyBytes sets the PUT body limit; n <= 0 keeps the default.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // Server serves a repository over HTTP.
 type Server struct {
-	store *repo.Repository
-	mux   *http.ServeMux
+	store   Store
+	mux     *http.ServeMux
+	maxBody int64
 }
 
 // NewServer wraps a repository.
-func NewServer(store *repo.Repository) (*Server, error) {
+func NewServer(store Store, opts ...ServerOption) (*Server, error) {
 	if store == nil {
 		return nil, fmt.Errorf("hub: nil repository")
 	}
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/v1/models", s.handleList)
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	return s, nil
 }
 
@@ -54,6 +88,18 @@ type metaJSON struct {
 	Task    string            `json:"task"`
 	Series  string            `json:"series,omitempty"`
 	Notes   map[string]string `json:"annotations,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok",
+		"models": s.store.Len(),
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +130,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		m, err := s.store.Load(id)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			if errors.Is(err, repo.ErrNotFound) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-somx")
@@ -94,27 +144,37 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	case http.MethodPut:
-		m, err := graph.Decode(r.Body)
+		m, err := graph.Decode(http.MaxBytesReader(w, r.Body, s.maxBody))
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				http.Error(w, fmt.Sprintf("model exceeds %d-byte upload limit", s.maxBody),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		gotID, err := s.store.Publish(m)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if gotID != id {
-			// The bare-bone interface is load-by-exact-URL; a body
-			// whose identity disagrees with the path would corrupt
-			// later lookups.
-			_ = s.store.Delete(gotID)
+		// The bare-bone interface is load-by-exact-URL; a body whose
+		// identity disagrees with the path would corrupt later lookups.
+		// Reject before publishing — storing first and compensating
+		// with a delete could destroy a pre-existing model under the
+		// body's ID.
+		if gotID := m.Name + "@" + m.Version; gotID != id {
 			http.Error(w, fmt.Sprintf("model identity %q does not match path id %q", gotID, id),
 				http.StatusBadRequest)
 			return
 		}
+		if _, err := s.store.Publish(m); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodDelete:
+		if _, ok := s.store.Metadata(id); !ok {
+			http.Error(w, fmt.Sprintf("model %q not found", id), http.StatusNotFound)
+			return
+		}
 		if err := s.store.Delete(id); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -6,6 +6,7 @@
 package repo
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,11 @@ import (
 
 	"sommelier/internal/graph"
 )
+
+// ErrNotFound is wrapped by Load errors for unknown model IDs, so
+// callers (the hub server in particular) can tell a missing model from
+// a damaged one.
+var ErrNotFound = errors.New("model not found")
 
 // Metadata is the minimal record the bare-bone repository keeps per
 // model: identity and free-form annotations. Deliberately no accuracy or
@@ -129,10 +135,13 @@ func (r *Repository) Load(id string) (*graph.Model, error) {
 		return m, nil
 	}
 	if r.dir == "" {
-		return nil, fmt.Errorf("repo: model %q not found", id)
+		return nil, fmt.Errorf("repo: model %q: %w", id, ErrNotFound)
 	}
 	m, err := r.readFile(id)
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("repo: model %q: %w", id, ErrNotFound)
+		}
 		return nil, fmt.Errorf("repo: model %q: %w", id, err)
 	}
 	r.mu.Lock()

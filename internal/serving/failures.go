@@ -1,0 +1,98 @@
+package serving
+
+import (
+	"fmt"
+
+	"sommelier/internal/stats"
+)
+
+// FailureModel injects model-switch failures into the simulator, so the
+// Figure 9(c) configurations can be re-examined under faults: in a real
+// deployment a switch means loading new weights onto a serving node,
+// which can fail (hub unreachable, node out of memory, load timeout).
+// The paper's §7.1 case study assumes switches always succeed; this
+// model relaxes that. A failed switch is not a failed request — the
+// server keeps serving with its previously deployed model and the
+// simulator reports the failed-switch count alongside tail latency.
+type FailureModel struct {
+	// SwitchFailProb is the probability in [0,1] that a model switch
+	// attempt fails, leaving the old model deployed.
+	SwitchFailProb float64
+	// Seed drives the failure sequence deterministically.
+	Seed uint64
+}
+
+func (fm FailureModel) validate() error {
+	if fm.SwitchFailProb < 0 || fm.SwitchFailProb > 1 {
+		return fmt.Errorf("serving: switch failure probability %v outside [0,1]", fm.SwitchFailProb)
+	}
+	return nil
+}
+
+// SimulateWithFailures runs Simulate under a failure model: switch
+// attempts fail with fm.SwitchFailProb and fall back to the previously
+// deployed model, with counts reported in the Result.
+func SimulateWithFailures(w Workload, policy Policy, servers int, fm FailureModel) (Result, error) {
+	return simulate(w, policy, servers, fm)
+}
+
+// RunComparisonWithFailures executes the Figure 9(c) comparison with
+// the switching configurations subjected to the failure model. The
+// fixed baseline and the scale-out configuration never switch models,
+// so they are unaffected by construction.
+func RunComparisonWithFailures(w Workload, candidates []ModelChoice, switchStep int, fm FailureModel) (Comparison, error) {
+	if len(candidates) == 0 {
+		return Comparison{}, fmt.Errorf("serving: no candidates")
+	}
+	if err := fm.validate(); err != nil {
+		return Comparison{}, err
+	}
+	flagship := candidates[0]
+	var c Comparison
+	var err error
+	if c.Baseline, err = Simulate(w, FixedPolicy{Model: flagship}, 1); err != nil {
+		return c, err
+	}
+	if c.ScaleOut, err = SimulateRacing(w, flagship); err != nil {
+		return c, err
+	}
+	sw, err := NewSwitchingPolicy(candidates, switchStep)
+	if err != nil {
+		return c, err
+	}
+	if c.Switching, err = simulate(w, sw, 1, fm); err != nil {
+		return c, err
+	}
+	if c.Combined, err = simulate(w, sw, 2, fm); err != nil {
+		return c, err
+	}
+	c.Combined.PolicyName = "switching+scale-out"
+	return c, nil
+}
+
+// DegradationReport summarizes how a result behaved under faults:
+// latency percentiles plus switch-failure counts, for Fig. 9(c)-style
+// runs re-examined under a failure model.
+type DegradationReport struct {
+	PolicyName     string
+	Summary        stats.Summary
+	SwitchAttempts int
+	FailedSwitches int
+	// FailureShare is FailedSwitches / SwitchAttempts (0 when no
+	// switches were attempted).
+	FailureShare float64
+}
+
+// Degradation builds the report for a result.
+func Degradation(r Result) DegradationReport {
+	rep := DegradationReport{
+		PolicyName:     r.PolicyName,
+		Summary:        r.Summary(),
+		SwitchAttempts: r.SwitchAttempts,
+		FailedSwitches: r.FailedSwitches,
+	}
+	if r.SwitchAttempts > 0 {
+		rep.FailureShare = float64(r.FailedSwitches) / float64(r.SwitchAttempts)
+	}
+	return rep
+}

@@ -108,6 +108,12 @@ type Result struct {
 	// MeanLevel is the average equivalence level of the serving model
 	// across requests — the accuracy cost of switching.
 	MeanLevel float64
+	// SwitchAttempts counts requests whose policy choice differed from
+	// the model deployed on the serving server, i.e. attempted model
+	// switches; FailedSwitches is how many of those the failure model
+	// rejected (the request was then served by the previously deployed
+	// model — graceful degradation, not an error).
+	SwitchAttempts, FailedSwitches int
 }
 
 // Summary returns latency percentiles.
@@ -137,15 +143,34 @@ func arrivals(w Workload) []float64 {
 // Simulate runs the workload against `servers` identical servers using
 // the policy. Requests join the shortest backlog (join-shortest-queue,
 // the paper's even distribution under heavy load); each server is a FIFO
-// processor.
+// processor. Model switches always succeed; see SimulateWithFailures
+// for runs under a failure model.
 func Simulate(w Workload, policy Policy, servers int) (Result, error) {
+	return simulate(w, policy, servers, FailureModel{})
+}
+
+// simulate is the core discrete-event loop, shared by the fault-free
+// and fault-injecting entry points.
+func simulate(w Workload, policy Policy, servers int, fm FailureModel) (Result, error) {
 	if w.Requests <= 0 || w.MeanArrivalMS <= 0 {
 		return Result{}, fmt.Errorf("serving: workload needs positive requests and arrival gap")
+	}
+	if err := fm.validate(); err != nil {
+		return Result{}, err
 	}
 	if servers <= 0 {
 		servers = 1
 	}
 	arr := arrivals(w)
+	// deployed[s] is the model currently installed on server s; a
+	// policy choice differing from it is a switch attempt, which the
+	// failure model may reject (the request then runs on the old model).
+	deployed := make([]ModelChoice, servers)
+	haveDeployed := make([]bool, servers)
+	var frng *tensor.RNG
+	if fm.SwitchFailProb > 0 {
+		frng = tensor.NewRNG(fm.Seed + 0x5eed)
+	}
 	// freeAt[s] is when server s finishes its backlog; queue[s] is the
 	// number of requests assigned and not finished at current arrival.
 	freeAt := make([]float64, servers)
@@ -178,6 +203,18 @@ func Simulate(w Workload, policy Policy, servers int) (Result, error) {
 		}
 		queueLen := len(backlog[best])
 		choice := policy.Choose(queueLen)
+		switch {
+		case !haveDeployed[best]:
+			deployed[best], haveDeployed[best] = choice, true
+		case choice.ID != deployed[best].ID:
+			res.SwitchAttempts++
+			if frng != nil && frng.Float64() < fm.SwitchFailProb {
+				res.FailedSwitches++
+				choice = deployed[best] // fall back to the running model
+			} else {
+				deployed[best] = choice
+			}
+		}
 
 		start := at
 		if freeAt[best] > start {
@@ -243,32 +280,10 @@ type Comparison struct {
 }
 
 // RunComparison executes the full Figure 9(c) experiment: the same
-// workload under all four configurations.
+// workload under all four configurations, with switches always
+// succeeding. See RunComparisonWithFailures for runs under faults.
 func RunComparison(w Workload, candidates []ModelChoice, switchStep int) (Comparison, error) {
-	if len(candidates) == 0 {
-		return Comparison{}, fmt.Errorf("serving: no candidates")
-	}
-	flagship := candidates[0]
-	var c Comparison
-	var err error
-	if c.Baseline, err = Simulate(w, FixedPolicy{Model: flagship}, 1); err != nil {
-		return c, err
-	}
-	if c.ScaleOut, err = SimulateRacing(w, flagship); err != nil {
-		return c, err
-	}
-	sw, err := NewSwitchingPolicy(candidates, switchStep)
-	if err != nil {
-		return c, err
-	}
-	if c.Switching, err = Simulate(w, sw, 1); err != nil {
-		return c, err
-	}
-	if c.Combined, err = Simulate(w, sw, 2); err != nil {
-		return c, err
-	}
-	c.Combined.PolicyName = "switching+scale-out"
-	return c, nil
+	return RunComparisonWithFailures(w, candidates, switchStep, FailureModel{})
 }
 
 // SortedModelShare renders a result's per-model request counts in a
