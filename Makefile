@@ -21,5 +21,9 @@ race:
 # check is the CI gate: vet plus the race-detector test run.
 check: vet race
 
+# bench runs the Go micro-benchmarks, then the serial-vs-parallel
+# indexing benchmark, leaving its machine-readable result in
+# BENCH_index.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) run ./cmd/sommbench -exp indexbench -index-out BENCH_index.json

@@ -6,7 +6,12 @@
 // size-capped, /v1/healthz reports liveness, header reads are bounded,
 // and SIGINT/SIGTERM drain in-flight requests before exiting.
 //
+// With -index the hub maintains a Sommelier catalog of its own: the
+// repository is indexed at startup (fanned out across -index-workers)
+// and every accepted upload is indexed before the PUT is acknowledged.
+//
 //	sommhub -repo ./models -listen :8750 -seed-demo
+//	sommhub -repo ./models -index -index-workers 8
 //	sommelier -hub http://localhost:8750 -query '...'
 package main
 
@@ -21,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"sommelier"
 	"sommelier/internal/dataset"
 	"sommelier/internal/hub"
 	"sommelier/internal/repo"
@@ -35,6 +41,8 @@ func main() {
 		seed         = flag.Uint64("seed", 7, "random seed for demo models")
 		maxBodyMB    = flag.Int64("max-body-mb", 64, "PUT body size limit in MiB")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+		doIndex      = flag.Bool("index", false, "maintain a Sommelier catalog: index existing models at startup and every accepted upload")
+		indexWorkers = flag.Int("index-workers", 0, "indexing concurrency (0 = GOMAXPROCS; needs -index)")
 	)
 	flag.Parse()
 
@@ -53,7 +61,21 @@ func main() {
 		fmt.Printf("seeded %d demo models\n", store.Len())
 	}
 
-	srv, err := hub.NewServer(store, hub.WithMaxBodyBytes(*maxBodyMB<<20))
+	opts := []hub.ServerOption{hub.WithMaxBodyBytes(*maxBodyMB << 20)}
+	if *doIndex {
+		eng, err := sommelier.New(store, sommelier.Options{Seed: *seed, IndexWorkers: *indexWorkers})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := eng.IndexAll(); err != nil {
+			fatal(fmt.Errorf("indexing repository: %w", err))
+		}
+		fmt.Printf("indexed %d models in %s (%d workers)\n",
+			eng.IndexedLen(), time.Since(start).Round(time.Millisecond), *indexWorkers)
+		opts = append(opts, hub.WithIndexer(eng))
+	}
+	srv, err := hub.NewServer(store, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,10 +1,12 @@
 package sommelier
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 
+	"sommelier/internal/index"
 	"sommelier/internal/repo"
 	"sommelier/internal/zoo"
 )
@@ -68,5 +70,127 @@ func TestEngineConcurrentQueriesDuringRegistration(t *testing.T) {
 	}
 	if eng.IndexedLen() != 7 {
 		t.Fatalf("IndexedLen = %d", eng.IndexedLen())
+	}
+}
+
+// TestEngineSnapshotConsistencyUnderStress hammers every engine surface
+// at once — Register, IndexAll, Query, Explain, TopEquivalents — and
+// checks that readers only ever observe consistent snapshots: every
+// result carries a real profile, a sane level, and a loadable model,
+// and Explain's per-stage counts add up. Registration racing IndexAll
+// over the same models must deduplicate inside the commit stage, so
+// the only tolerated write error is "already indexed". Run with -race
+// in CI (make check).
+func TestEngineSnapshotConsistencyUnderStress(t *testing.T) {
+	store := repo.NewInMemory()
+	eng, err := New(store, Options{Seed: 33, ValidationSize: 60, IndexWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := zoo.DenseResidualNet(zoo.Config{Name: "stress", Seed: 1, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refID, err := eng.Register(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const registered, published = 5, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	tolerated := func(err error) bool { return errors.Is(err, index.ErrAlreadyIndexed) }
+
+	// Writer 1: register variants one at a time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < registered; i++ {
+			v := zoo.Perturb(base, fmt.Sprintf("stress-r%d", i), 0.05, uint64(i+2))
+			if _, err := eng.Register(v); err != nil && !tolerated(err) {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Writer 2: publish straight to the repository, then batch-index —
+	// racing writer 1's commits and exercising the in-commit dedup.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < published; i++ {
+			v := zoo.Perturb(base, fmt.Sprintf("stress-p%d", i), 0.07, uint64(i+20))
+			if _, err := store.Publish(v); err != nil {
+				errs <- err
+				return
+			}
+			if err := eng.IndexAll(); err != nil && !tolerated(err) {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: every result must come from one consistent snapshot.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				results, err := eng.Query(`SELECT CORR "` + refID + `" WITHIN 10% PICK most_similar`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, r := range results {
+					if r.Profile.IsZero() {
+						errs <- fmt.Errorf("result %q has zero profile: torn snapshot", r.ID)
+						return
+					}
+					if r.Level < 0 || r.Level > 1 {
+						errs <- fmt.Errorf("result %q level %v outside [0,1]", r.ID, r.Level)
+						return
+					}
+					if _, err := store.Load(r.ID); err != nil {
+						errs <- fmt.Errorf("result %q not loadable: %v", r.ID, err)
+						return
+					}
+				}
+				exp, err := eng.Explain(`SELECT CORR "` + refID + `" WITHIN 10% PICK most_similar`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if exp.Returned != len(exp.Results) || exp.Returned > exp.SemanticCandidates {
+					errs <- fmt.Errorf("explain counts inconsistent: returned %d, results %d, semantic %d",
+						exp.Returned, len(exp.Results), exp.SemanticCandidates)
+					return
+				}
+				if _, err := eng.TopEquivalents(refID, 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every published model must be indexed exactly once.
+	if err := eng.IndexAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + registered + published
+	if eng.IndexedLen() != want {
+		t.Fatalf("IndexedLen = %d, want %d", eng.IndexedLen(), want)
+	}
+	for _, md := range store.List() {
+		if _, ok := eng.Profile(md.ID); !ok {
+			t.Fatalf("published model %q has no indexed profile", md.ID)
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package sommelier
+
+import (
+	"fmt"
+
+	"sommelier/internal/catalog"
+	"sommelier/internal/graph"
+	"sommelier/internal/repo"
+	"sommelier/internal/resource"
+)
+
+// Store is the repository surface the engine needs. *repo.Repository
+// implements it; internal/faults.FlakyStore wraps one for failure
+// testing. IDs follow the repository convention (repo.IDFor):
+// name@version.
+type Store interface {
+	Publish(m *graph.Model) (string, error)
+	Load(id string) (*graph.Model, error)
+	Delete(id string) error
+	List() []repo.Metadata
+	Metadata(id string) (repo.Metadata, bool)
+}
+
+// Engine is the Sommelier query engine: a facade over a Store (the
+// model repository) and a catalog.Catalog (the index state). It is
+// safe for concurrent use; queries never block on registration.
+type Engine struct {
+	opts  Options
+	store Store
+	cat   *catalog.Catalog
+}
+
+// New creates an engine over an existing repository. Models already in
+// the repository are NOT indexed automatically; call IndexAll or Register.
+func New(store Store, opts Options) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("sommelier: nil repository")
+	}
+	return &Engine{
+		opts:  opts,
+		store: store,
+		cat: catalog.New(catalog.Config{
+			Seed:             opts.Seed,
+			SampleSize:       opts.SampleSize,
+			Workers:          opts.IndexWorkers,
+			ValidationSize:   opts.ValidationSize,
+			Bound:            opts.Bound,
+			Segments:         opts.Segments,
+			SegmentMinLen:    opts.SegmentMinLen,
+			CustomValidation: opts.CustomValidation,
+			LatencyTable:     opts.LatencyTable,
+		}),
+	}, nil
+}
+
+// Store returns the underlying repository.
+func (e *Engine) Store() Store { return e.store }
+
+// IndexedLen returns the number of indexed models.
+func (e *Engine) IndexedLen() int { return e.cat.Snapshot().Len() }
+
+// Profile returns the indexed resource profile for id.
+func (e *Engine) Profile(id string) (resource.Profile, bool) {
+	return e.cat.Snapshot().Profile(id)
+}
+
+// SetDefaultReference sets the reference model used when a query names a
+// task category instead of a model (§5.1).
+func (e *Engine) SetDefaultReference(task, id string) error {
+	if err := e.cat.SetDefaultReference(task, id); err != nil {
+		return fmt.Errorf("sommelier: %q is not indexed", id)
+	}
+	return nil
+}
+
+// IndexMemoryBytes reports the two indexes' in-memory footprints
+// (semantic, resource) for the Table 4 experiment.
+func (e *Engine) IndexMemoryBytes() (semantic, res int64) {
+	return e.cat.MemoryBytes()
+}

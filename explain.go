@@ -57,27 +57,28 @@ func (e *Explanation) String() string {
 }
 
 // Explain runs the query while recording per-stage filtering decisions.
-// It returns the same results Query would, plus the explanation.
+// It returns the same results Query would, plus the explanation. Like
+// QueryAST, every stage reads one catalog snapshot, so the counts add
+// up even under concurrent registration.
 func (e *Engine) Explain(q string) (*Explanation, error) {
 	ast, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	snap := e.cat.Snapshot()
 
 	refID := ast.Ref
 	if refID == "" {
-		id, ok := e.defaultRefs[ast.Task]
+		id, ok := snap.DefaultReference(ast.Task)
 		if !ok {
 			return nil, fmt.Errorf("sommelier: no default reference for task %q", ast.Task)
 		}
 		refID = id
 	}
-	if !e.sem.Contains(refID) {
+	if !snap.Contains(refID) {
 		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
 	}
-	refProf, _ := e.res.Profile(refID)
+	refProf, _ := snap.Profile(refID)
 
 	exp := &Explanation{
 		Query:            ast.String(),
@@ -90,11 +91,11 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 		exp.ResourceRejected[con.String()] = 0
 	}
 
-	all, err := e.sem.Lookup(refID, 0)
+	all, err := snap.Lookup(refID, 0)
 	if err != nil {
 		return nil, err
 	}
-	cands, err := e.sem.Lookup(refID, ast.Threshold)
+	cands, err := snap.Lookup(refID, ast.Threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -108,13 +109,13 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 	var results []Result
 	for _, c := range cands {
 		pid := candProfileID(c)
-		prof, ok := e.res.Profile(pid)
+		prof, ok := snap.Profile(pid)
 		if reprofile {
 			m, err := e.store.Load(pid)
 			if err != nil {
 				return nil, err
 			}
-			if prof, err = e.profiler.MeasureWith(m, setting); err != nil {
+			if prof, err = e.cat.Profiler().MeasureWith(m, setting); err != nil {
 				return nil, err
 			}
 			ok = true

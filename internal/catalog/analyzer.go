@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"sync"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/equiv"
+	"sommelier/internal/graph"
+	"sommelier/internal/index"
+)
+
+// probeCache builds and caches one probe dataset per input-shape
+// signature. It is safe for concurrent use: generation happens outside
+// the lock (the data is deterministic per shape and seed, so two
+// racing generators produce identical datasets) and the first
+// publication wins.
+type probeCache struct {
+	custom *dataset.Dataset
+	size   int
+	seed   uint64
+
+	mu   sync.Mutex
+	sets map[string]*dataset.Dataset
+}
+
+func (p *probeCache) For(m *graph.Model) *dataset.Dataset {
+	if cv := p.custom; cv != nil && cv.Len() > 0 && cv.Inputs[0].Shape().Equal(m.InputShape) {
+		return cv
+	}
+	key := m.InputShape.String()
+	p.mu.Lock()
+	if d, ok := p.sets[key]; ok {
+		p.mu.Unlock()
+		return d
+	}
+	p.mu.Unlock()
+	d := &dataset.Dataset{
+		Name:   "probe" + key,
+		Inputs: dataset.RandomImages(p.size, m.InputShape, p.seed),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if exist, ok := p.sets[key]; ok {
+		return exist
+	}
+	p.sets[key] = d
+	return d
+}
+
+// pairAnalyzer adapts internal/equiv to the semantic index's Analyzer
+// interface, measuring whole-model equivalence in both directions and —
+// when enabled — segment-level replacements. All its state is
+// read-only after construction except the probe cache, so Analyze is
+// safe to call from many workers at once.
+type pairAnalyzer struct {
+	opts    equiv.Options
+	segs    bool
+	segLen  int
+	segOpts equiv.Options
+	probes  *probeCache
+}
+
+func newPairAnalyzer(cfg Config) *pairAnalyzer {
+	return &pairAnalyzer{
+		// Epsilon 1: levels are recorded; thresholds apply at query time.
+		opts:    equiv.Options{Epsilon: 1, Bound: cfg.Bound, Seed: cfg.Seed},
+		segs:    cfg.Segments,
+		segLen:  cfg.SegmentMinLen,
+		segOpts: equiv.Options{Epsilon: 0.1, Seed: cfg.Seed, ProbeCount: 12},
+		probes: &probeCache{
+			custom: cfg.CustomValidation,
+			size:   cfg.validationSize(),
+			seed:   cfg.Seed + 3,
+			sets:   make(map[string]*dataset.Dataset),
+		},
+	}
+}
+
+func (a *pairAnalyzer) Analyze(ref, cand index.Entry) (index.AnalysisResult, error) {
+	fwd, rev, err := equiv.CheckPair(ref.Model, cand.Model,
+		a.probes.For(ref.Model), a.probes.For(cand.Model), a.opts)
+	if err != nil {
+		return index.AnalysisResult{}, err
+	}
+	res := index.AnalysisResult{
+		LevelForRef:  fwd.Score(),
+		LevelForCand: rev.Score(),
+	}
+	if a.segs {
+		intoRef, intoCand := equiv.AssessSwapBoth(ref.Model, cand.Model, a.segLen, a.segOpts)
+		if intoRef != nil {
+			res.SynthForRef = []index.Candidate{{
+				ID: ref.ID, Level: intoRef.Level, Kind: index.KindSynthesized,
+				DonorID: cand.ID, Segment: intoRef.Segment,
+			}}
+		}
+		if intoCand != nil {
+			res.SynthForCand = []index.Candidate{{
+				ID: cand.ID, Level: intoCand.Level, Kind: index.KindSynthesized,
+				DonorID: ref.ID, Segment: intoCand.Segment,
+			}}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,219 @@
+// Package catalog owns Sommelier's index state: the semantic index
+// (§5.2), the LSH resource index (§5.3), and the default-reference
+// table, behind a copy-on-write snapshot scheme. Writers — the staged
+// indexing pipeline in pipeline.go — mutate the structures under a
+// single writer lock and publish an immutable Snapshot after each
+// commit; readers load the current snapshot with one atomic pointer
+// read and never contend with writers or each other.
+package catalog
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sommelier/internal/dataset"
+	"sommelier/internal/equiv"
+	"sommelier/internal/graph"
+	"sommelier/internal/index"
+	"sommelier/internal/resource"
+)
+
+// Config carries everything the catalog needs to analyze, profile, and
+// index models. Fields mirror the engine's public Options (§5.5).
+type Config struct {
+	// Seed drives every random choice; equal seeds give identical
+	// catalogs regardless of indexing parallelism.
+	Seed uint64
+	// SampleSize overrides the semantic index's pairwise sample count.
+	SampleSize int
+	// Workers bounds the indexing pipeline's analysis concurrency
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// ValidationSize is the per-shape probe dataset size (default 300).
+	ValidationSize int
+	// Bound selects the generalization-bound mode.
+	Bound equiv.BoundMode
+	// Segments enables segment-replacement analysis (§4.2).
+	Segments bool
+	// SegmentMinLen is the minimum common-segment length considered.
+	SegmentMinLen int
+	// CustomValidation replaces generated probe data for matching
+	// input shapes.
+	CustomValidation *dataset.Dataset
+	// LatencyTable overrides the per-operator latency table.
+	LatencyTable resource.LatencyTable
+	// Analyzer overrides the pairwise analyzer; nil selects the real
+	// equiv-backed analyzer. Tests inject failing or counting stubs.
+	Analyzer index.Analyzer
+}
+
+func (c Config) validationSize() int {
+	if c.ValidationSize <= 0 {
+		return 300
+	}
+	return c.ValidationSize
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Catalog is the write side of the index state plus the published
+// read-side snapshot.
+type Catalog struct {
+	cfg      Config
+	profiler *resource.Profiler
+	analyzer index.Analyzer
+	// sema bounds concurrent analysis/profiling work across all
+	// indexing calls on this catalog.
+	sema chan struct{}
+
+	mu          sync.Mutex
+	sem         *index.SemanticIndex
+	res         *index.ResourceIndex
+	defaultRefs map[string]string
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// New creates an empty catalog.
+func New(cfg Config) *Catalog {
+	c := &Catalog{
+		cfg:         cfg,
+		profiler:    resource.NewProfiler(cfg.LatencyTable),
+		sema:        make(chan struct{}, cfg.workers()),
+		sem:         index.NewSemanticIndex(cfg.Seed + 1),
+		res:         index.NewResourceIndex(cfg.Seed + 2),
+		defaultRefs: make(map[string]string),
+	}
+	if cfg.SampleSize > 0 {
+		c.sem.SampleSize = cfg.SampleSize
+	}
+	c.analyzer = cfg.Analyzer
+	if c.analyzer == nil {
+		c.analyzer = newPairAnalyzer(cfg)
+	}
+	c.mu.Lock()
+	c.publishLocked()
+	c.mu.Unlock()
+	return c
+}
+
+// Profiler returns the catalog's resource profiler (safe for concurrent
+// use), so callers can re-profile models under non-default execution
+// settings.
+func (c *Catalog) Profiler() *resource.Profiler { return c.profiler }
+
+// SetDefaultReference sets the reference model used when a query names
+// a task category instead of a model (§5.1).
+func (c *Catalog) SetDefaultReference(task, id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sem.Contains(id) {
+		return fmt.Errorf("catalog: %q is not indexed", id)
+	}
+	c.defaultRefs[task] = id
+	c.publishLocked()
+	return nil
+}
+
+// noteDefaultRefLocked makes the first indexed model of a task category
+// that category's default reference. Callers hold c.mu.
+func (c *Catalog) noteDefaultRefLocked(id string, m *graph.Model) {
+	task := string(m.Task)
+	if _, ok := c.defaultRefs[task]; !ok {
+		c.defaultRefs[task] = id
+	}
+}
+
+// Annotate records designer-supplied equivalence levels (§5.5) between
+// an indexed model and other indexed models, symmetrically. The
+// annotation commits atomically: every referenced ID is validated
+// under the writer lock before any edge is applied, so a bad reference
+// leaves the index untouched.
+func (c *Catalog) Annotate(id string, levels map[string]float64) error {
+	for other, lvl := range levels {
+		if lvl < 0 || lvl > 1 {
+			return fmt.Errorf("catalog: annotation level %g for %q outside [0,1]", lvl, other)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sem.Contains(id) {
+		return fmt.Errorf("catalog: %q is not indexed", id)
+	}
+	others := make([]string, 0, len(levels))
+	for other := range levels {
+		others = append(others, other)
+	}
+	sort.Strings(others)
+	for _, other := range others {
+		if !c.sem.Contains(other) {
+			return fmt.Errorf("catalog: annotation references unindexed model %q", other)
+		}
+	}
+	var own []index.Candidate
+	for _, other := range others {
+		lvl := levels[other]
+		own = append(own, index.Candidate{ID: other, Level: lvl, Kind: index.KindWhole})
+		if err := c.sem.InsertPrecomputed(other, []index.Candidate{
+			{ID: id, Level: lvl, Kind: index.KindWhole},
+		}); err != nil {
+			return err
+		}
+	}
+	if len(own) > 0 {
+		if err := c.sem.InsertPrecomputed(id, own); err != nil {
+			return err
+		}
+	}
+	c.publishLocked()
+	return nil
+}
+
+// MemoryBytes reports the two indexes' in-memory footprints (semantic,
+// resource) for the Table 4 experiment.
+func (c *Catalog) MemoryBytes() (semantic, res int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sem.MemoryBytes(), c.res.MemoryBytes()
+}
+
+// Export captures the catalog's serializable state (§5.5 persistence):
+// both index snapshots plus the default-reference table.
+func (c *Catalog) Export() (index.SemanticSnapshot, index.ResourceSnapshot, map[string]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	refs := make(map[string]string, len(c.defaultRefs))
+	for k, v := range c.defaultRefs {
+		refs[k] = v
+	}
+	return c.sem.Snapshot(), c.res.Snapshot(), refs
+}
+
+// Restore replaces the catalog's contents with previously exported
+// state. resolve maps model IDs back to graphs (normally repo.Load) so
+// future insertions can analyze against restored entries.
+func (c *Catalog) Restore(sem index.SemanticSnapshot, res index.ResourceSnapshot,
+	refs map[string]string, resolve func(id string) (*graph.Model, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sem.Restore(sem, resolve); err != nil {
+		return err
+	}
+	if err := c.res.Restore(res); err != nil {
+		return err
+	}
+	c.defaultRefs = make(map[string]string, len(refs))
+	for k, v := range refs {
+		c.defaultRefs[k] = v
+	}
+	c.publishLocked()
+	return nil
+}

@@ -1,0 +1,229 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/index"
+	"sommelier/internal/resource"
+)
+
+// The indexing pipeline has three stages:
+//
+//	profile/plan → pairwise-analyze → commit
+//
+// Only planning and commit take the writer lock, and both are cheap:
+// planning draws the pairwise sample (consuming the index RNG in
+// canonical order), commit applies precomputed measurements. The
+// expensive middle stage — equivalence analysis and resource profiling
+// — runs outside any lock, fanned out across the worker pool. For a
+// fixed seed the committed index is byte-identical to serial insertion
+// regardless of worker count: the RNG sequence is fixed at plan time
+// and commits land in plan order.
+
+// Index profiles, analyzes, and commits one model. Indexing an
+// already indexed ID fails with an error wrapping
+// index.ErrAlreadyIndexed.
+func (c *Catalog) Index(id string, m *graph.Model) error {
+	if id == "" || m == nil {
+		return fmt.Errorf("catalog: index needs an ID and a model")
+	}
+	prof, err := c.profiler.Measure(m)
+	if err != nil {
+		return fmt.Errorf("catalog: profiling %q: %w", id, err)
+	}
+
+	entry := index.Entry{ID: id, Model: m}
+	c.mu.Lock()
+	if c.sem.Contains(id) {
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: model %q %w", id, index.ErrAlreadyIndexed)
+	}
+	plan := c.sem.PlanInserts([]index.Entry{entry})[0]
+	partners := make([]index.Entry, len(plan.Partners))
+	for i, pid := range plan.Partners {
+		pe, ok := c.sem.EntryOf(pid)
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("catalog: planned partner %q unknown", pid)
+		}
+		partners[i] = pe
+	}
+	c.mu.Unlock()
+
+	meas, err := c.analyzePlanned(entry, partners)
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.sem.CommitPlanned(entry, meas); err != nil {
+		if errors.Is(err, index.ErrAlreadyIndexed) {
+			return fmt.Errorf("catalog: model %q %w", id, index.ErrAlreadyIndexed)
+		}
+		return err
+	}
+	if err := c.res.Insert(id, prof); err != nil {
+		return err
+	}
+	c.noteDefaultRefLocked(id, m)
+	c.publishLocked()
+	return nil
+}
+
+// IndexBatch indexes a set of models through the staged pipeline,
+// analyzing all planned pairs concurrently. Entries already indexed —
+// whether before the call or by a concurrent writer between planning
+// and commit — are skipped, not errors; in-batch duplicate IDs keep
+// the first occurrence. It returns the number of models committed.
+//
+// For a fixed catalog seed, IndexBatch over the same entry order
+// produces an index byte-identical to serial Index calls, at any
+// worker count.
+func (c *Catalog) IndexBatch(entries []index.Entry) (int, error) {
+	// Stage 1 (plan, short lock): filter out known and duplicate IDs,
+	// then draw every pairwise sample up-front in canonical order.
+	// Later batch entries may sample earlier ones, so partner graphs
+	// resolve from either the committed index or the batch itself.
+	c.mu.Lock()
+	var fresh []index.Entry
+	inBatch := make(map[string]*graph.Model, len(entries))
+	for _, e := range entries {
+		if e.ID == "" || e.Model == nil {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("catalog: batch entry must have an ID and a model")
+		}
+		if c.sem.Contains(e.ID) || inBatch[e.ID] != nil {
+			continue
+		}
+		inBatch[e.ID] = e.Model
+		fresh = append(fresh, e)
+	}
+	plans := c.sem.PlanInserts(fresh)
+	partnerEntries := make([][]index.Entry, len(plans))
+	for i, plan := range plans {
+		ps := make([]index.Entry, len(plan.Partners))
+		for j, pid := range plan.Partners {
+			if pe, ok := c.sem.EntryOf(pid); ok {
+				ps[j] = pe
+			} else if m := inBatch[pid]; m != nil {
+				ps[j] = index.Entry{ID: pid, Model: m}
+			} else {
+				c.mu.Unlock()
+				return 0, fmt.Errorf("catalog: planned partner %q unknown", pid)
+			}
+		}
+		partnerEntries[i] = ps
+	}
+	c.mu.Unlock()
+
+	// Stage 2 (analyze, no lock): profile every model and measure
+	// every planned pair, bounded by the worker pool. Each task writes
+	// its own slot, so no synchronization beyond the WaitGroup.
+	profs := make([]resource.Profile, len(plans))
+	profErrs := make([]error, len(plans))
+	measured := make([][]index.PairMeasurement, len(plans))
+	pairErrs := make([][]error, len(plans))
+	var wg sync.WaitGroup
+	run := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.sema <- struct{}{}
+			defer func() { <-c.sema }()
+			fn()
+		}()
+	}
+	for i := range plans {
+		i := i
+		measured[i] = make([]index.PairMeasurement, len(partnerEntries[i]))
+		pairErrs[i] = make([]error, len(partnerEntries[i]))
+		run(func() {
+			p, err := c.profiler.Measure(plans[i].Entry.Model)
+			if err != nil {
+				profErrs[i] = fmt.Errorf("catalog: profiling %q: %w", plans[i].Entry.ID, err)
+				return
+			}
+			profs[i] = p
+		})
+		for j := range partnerEntries[i] {
+			j := j
+			run(func() {
+				res, err := c.analyzer.Analyze(plans[i].Entry, partnerEntries[i][j])
+				if err != nil {
+					pairErrs[i][j] = fmt.Errorf("catalog: analyzing %q vs %q: %w",
+						plans[i].Entry.ID, partnerEntries[i][j].ID, err)
+					return
+				}
+				measured[i][j] = index.PairMeasurement{Partner: partnerEntries[i][j].ID, Result: res}
+			})
+		}
+	}
+	wg.Wait()
+
+	// Stage 3 (commit, short lock): apply measurements in plan order.
+	// A commit that finds its ID already indexed lost a race with a
+	// concurrent writer and is skipped — the check-then-insert pair
+	// lives inside one critical section, so there is no window for
+	// double insertion. The snapshot publishes once, on the way out,
+	// covering both full and partial (error) commits.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.publishLocked()
+	committed := 0
+	for i, plan := range plans {
+		if profErrs[i] != nil {
+			return committed, profErrs[i]
+		}
+		for _, err := range pairErrs[i] {
+			if err != nil {
+				return committed, err
+			}
+		}
+		if err := c.sem.CommitPlanned(plan.Entry, measured[i]); err != nil {
+			if errors.Is(err, index.ErrAlreadyIndexed) {
+				continue
+			}
+			return committed, err
+		}
+		if err := c.res.Insert(plan.Entry.ID, profs[i]); err != nil {
+			return committed, err
+		}
+		c.noteDefaultRefLocked(plan.Entry.ID, plan.Entry.Model)
+		committed++
+	}
+	return committed, nil
+}
+
+// analyzePlanned measures one entry against its planned partners,
+// fanning the pairs out across the worker pool. Measurements return in
+// partner (plan) order.
+func (c *Catalog) analyzePlanned(e index.Entry, partners []index.Entry) ([]index.PairMeasurement, error) {
+	meas := make([]index.PairMeasurement, len(partners))
+	errs := make([]error, len(partners))
+	var wg sync.WaitGroup
+	for i, p := range partners {
+		wg.Add(1)
+		go func(i int, p index.Entry) {
+			defer wg.Done()
+			c.sema <- struct{}{}
+			defer func() { <-c.sema }()
+			res, err := c.analyzer.Analyze(e, p)
+			if err != nil {
+				errs[i] = fmt.Errorf("catalog: analyzing %q vs %q: %w", e.ID, p.ID, err)
+				return
+			}
+			meas[i] = index.PairMeasurement{Partner: p.ID, Result: res}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return meas, nil
+}

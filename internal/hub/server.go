@@ -37,6 +37,16 @@ type Store interface {
 	Len() int
 }
 
+// Indexer receives accepted uploads so the serving catalog stays
+// current — the curated-hub mode where Sommelier indexes models as they
+// arrive instead of in offline batches. An Indexer must treat an
+// already indexed ID as success, not an error (re-publishing a version
+// is legal hub behaviour). *sommelier.Engine satisfies it via
+// IndexModel.
+type Indexer interface {
+	IndexModel(id string, m *graph.Model) error
+}
+
 // DefaultMaxBodyBytes caps PUT bodies; a bare-bone hub should not be
 // taken down by one oversized (or unbounded) upload.
 const DefaultMaxBodyBytes int64 = 64 << 20
@@ -53,11 +63,20 @@ func WithMaxBodyBytes(n int64) ServerOption {
 	}
 }
 
+// WithIndexer makes the server index every accepted upload. When
+// indexing fails, the upload is rejected and — unless the PUT
+// overwrote a pre-existing version — rolled back, keeping "published
+// implies indexed" true for models that arrived through this server.
+func WithIndexer(ix Indexer) ServerOption {
+	return func(s *Server) { s.indexer = ix }
+}
+
 // Server serves a repository over HTTP.
 type Server struct {
 	store   Store
 	mux     *http.ServeMux
 	maxBody int64
+	indexer Indexer
 }
 
 // NewServer wraps a repository.
@@ -165,9 +184,23 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 				http.StatusBadRequest)
 			return
 		}
+		_, existed := s.store.Metadata(id)
 		if _, err := s.store.Publish(m); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		if s.indexer != nil {
+			if err := s.indexer.IndexModel(id, m); err != nil {
+				// Keep the hub consistent with the catalog: drop the
+				// model this PUT created. A pre-existing version stays —
+				// deleting it would destroy data the uploader didn't
+				// send — and remains queryable under its old index entry.
+				if !existed {
+					_ = s.store.Delete(id)
+				}
+				http.Error(w, fmt.Sprintf("indexing %q: %v", id, err), http.StatusInternalServerError)
+				return
+			}
 		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodDelete:

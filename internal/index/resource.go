@@ -126,9 +126,20 @@ func (b Budget) probeVector() []float64 {
 // satisfying (small or skewed indexes), it falls back to an exact scan so
 // queries never silently miss feasible models.
 func (r *ResourceIndex) Candidates(b Budget, maxDist float64) ([]string, error) {
+	return budgetCandidates(r.lsh, r.profiles, b, maxDist)
+}
+
+// CandidatesExact scans every profile — the ablation baseline.
+func (r *ResourceIndex) CandidatesExact(b Budget) []string {
+	return exactCandidates(r.profiles, b)
+}
+
+// budgetCandidates implements the two-phase budget lookup shared by the
+// mutable index and its immutable views.
+func budgetCandidates(idx *lsh.Index, profiles map[string]resource.Profile, b Budget, maxDist float64) ([]string, error) {
 	if b == (Budget{}) {
 		// No upper bounds at all: every profile is a candidate.
-		return r.CandidatesExact(b), nil
+		return exactCandidates(profiles, b), nil
 	}
 	if maxDist <= 0 {
 		// Default probe radius: ~2 log-space units, about one order of
@@ -136,27 +147,26 @@ func (r *ResourceIndex) Candidates(b Budget, maxDist float64) ([]string, error) 
 		maxDist = 2
 	}
 	probe := b.probeVector()
-	matches, err := r.lsh.Query(probe, maxDist)
+	matches, err := idx.Query(probe, maxDist)
 	if err != nil {
 		return nil, err
 	}
-	out := r.filter(matchIDs(matches), b)
+	out := filterByBudget(profiles, matchIDs(matches), b)
 	if len(out) > 0 {
 		return out, nil
 	}
 	// The probe's buckets held no satisfying profile (small or skewed
 	// populations); fall back to the exact per-dimension scan so queries
 	// never silently miss feasible models.
-	return r.CandidatesExact(b), nil
+	return exactCandidates(profiles, b), nil
 }
 
-// CandidatesExact scans every profile — the ablation baseline.
-func (r *ResourceIndex) CandidatesExact(b Budget) []string {
-	ids := make([]string, 0, len(r.profiles))
-	for id := range r.profiles {
+func exactCandidates(profiles map[string]resource.Profile, b Budget) []string {
+	ids := make([]string, 0, len(profiles))
+	for id := range profiles {
 		ids = append(ids, id)
 	}
-	return r.filter(ids, b)
+	return filterByBudget(profiles, ids, b)
 }
 
 func matchIDs(ms []lsh.Match) []string {
@@ -167,10 +177,10 @@ func matchIDs(ms []lsh.Match) []string {
 	return ids
 }
 
-func (r *ResourceIndex) filter(ids []string, b Budget) []string {
+func filterByBudget(profiles map[string]resource.Profile, ids []string, b Budget) []string {
 	var out []string
 	for _, id := range ids {
-		if b.Satisfies(r.profiles[id]) {
+		if b.Satisfies(profiles[id]) {
 			out = append(out, id)
 		}
 	}

@@ -5,12 +5,18 @@
 package index
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"sommelier/internal/graph"
 	"sommelier/internal/tensor"
 )
+
+// ErrAlreadyIndexed is wrapped by Insert and CommitPlanned when the ID
+// is already present. Staged pipelines treat it as "another writer got
+// here first" and dedup by skipping the commit.
+var ErrAlreadyIndexed = errors.New("already indexed")
 
 // CandidateKind distinguishes real stored models from synthesized
 // segment-replacement models (§5.2 insertion case (ii)).
@@ -120,13 +126,101 @@ func (s *SemanticIndex) Contains(id string) bool {
 
 // Insert adds a model, measuring equivalence against up to SampleSize
 // randomly chosen existing models via the analyzer and deriving levels to
-// the remainder transitively (§5.2).
+// the remainder transitively (§5.2). It is the serial composition of the
+// staged API: PlanInserts draws the sample, the analyzer measures each
+// planned pair, and CommitPlanned applies the results.
 func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
 	if e.ID == "" || e.Model == nil {
 		return fmt.Errorf("index: entry must have an ID and a model")
 	}
 	if _, dup := s.entries[e.ID]; dup {
-		return fmt.Errorf("index: model %q already indexed", e.ID)
+		return fmt.Errorf("index: model %q %w", e.ID, ErrAlreadyIndexed)
+	}
+	plan := s.PlanInserts([]Entry{e})[0]
+	meas := make([]PairMeasurement, 0, len(plan.Partners))
+	for _, otherID := range plan.Partners {
+		res, err := analyzer.Analyze(e, s.entries[otherID].entry)
+		if err != nil {
+			return fmt.Errorf("index: analyzing %q vs %q: %w", e.ID, otherID, err)
+		}
+		meas = append(meas, PairMeasurement{Partner: otherID, Result: res})
+	}
+	return s.CommitPlanned(e, meas)
+}
+
+// SamplePlan pre-records the partners one future insertion will be
+// measured against, in draw order.
+type SamplePlan struct {
+	Entry    Entry
+	Partners []string
+}
+
+// PairMeasurement carries the analyzer's verdict for one planned
+// partner, in the plan's draw order.
+type PairMeasurement struct {
+	Partner string
+	Result  AnalysisResult
+}
+
+// PlanInserts stages a sequence of insertions: for each entry it draws
+// the sampled partner set exactly as the equivalent sequence of serial
+// Insert calls would — consuming the index RNG in the same order, with
+// later entries able to sample earlier ones — without mutating index
+// state. The caller measures the planned pairs (possibly in parallel,
+// outside any lock) and applies them with CommitPlanned in plan order;
+// for a fixed seed the resulting index is byte-identical to serial
+// insertion regardless of how the measurements were scheduled.
+func (s *SemanticIndex) PlanInserts(entries []Entry) []SamplePlan {
+	k := s.SampleSize
+	if k <= 0 {
+		k = 5
+	}
+	virtual := append([]string(nil), s.order...)
+	plans := make([]SamplePlan, 0, len(entries))
+	for _, e := range entries {
+		var partners []string
+		if len(virtual) <= k {
+			partners = append(partners, virtual...)
+		} else {
+			perm := s.rng.Perm(len(virtual))
+			for _, p := range perm[:k] {
+				partners = append(partners, virtual[p])
+			}
+		}
+		plans = append(plans, SamplePlan{Entry: e, Partners: partners})
+		virtual = append(virtual, e.ID)
+	}
+	return plans
+}
+
+// EntryOf returns the stored entry (ID plus model graph) for id — the
+// material a staged pipeline needs to analyze new models against
+// already committed ones.
+func (s *SemanticIndex) EntryOf(id string) (Entry, bool) {
+	rec, ok := s.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return rec.entry, true
+}
+
+// CommitPlanned applies one planned insertion whose pairwise
+// measurements were computed outside the index. It replays exactly what
+// Insert does after analysis: symmetric candidate recording for each
+// measured partner, then transitive derivation against every remaining
+// indexed model. Committing an ID that was indexed in the meantime
+// fails with ErrAlreadyIndexed.
+func (s *SemanticIndex) CommitPlanned(e Entry, meas []PairMeasurement) error {
+	if e.ID == "" || e.Model == nil {
+		return fmt.Errorf("index: entry must have an ID and a model")
+	}
+	if _, dup := s.entries[e.ID]; dup {
+		return fmt.Errorf("index: model %q %w", e.ID, ErrAlreadyIndexed)
+	}
+	for _, pm := range meas {
+		if _, ok := s.entries[pm.Partner]; !ok {
+			return fmt.Errorf("index: planned partner %q is not indexed", pm.Partner)
+		}
 	}
 	rec := &semEntry{
 		entry:       e,
@@ -134,32 +228,14 @@ func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
 		measured:    make(map[string]float64),
 	}
 
-	// Choose up to SampleSize existing models uniformly at random.
-	k := s.SampleSize
-	if k <= 0 {
-		k = 5
-	}
-	var sampled []string
-	if len(s.order) <= k {
-		sampled = append(sampled, s.order...)
-	} else {
-		perm := s.rng.Perm(len(s.order))
-		for _, p := range perm[:k] {
-			sampled = append(sampled, s.order[p])
-		}
-	}
-
-	for _, otherID := range sampled {
-		other := s.entries[otherID]
-		res, err := analyzer.Analyze(e, other.entry)
-		if err != nil {
-			return fmt.Errorf("index: analyzing %q vs %q: %w", e.ID, otherID, err)
-		}
+	for _, pm := range meas {
+		other := s.entries[pm.Partner]
+		res := pm.Result
 		// res.LevelForRef: candidate (other) standing in for the new
 		// model; goes to the new entry's list.
 		if res.LevelForRef > 0 {
 			rec.candidates = insertSorted(rec.candidates, Candidate{
-				ID: otherID, Level: res.LevelForRef, Kind: KindWhole,
+				ID: pm.Partner, Level: res.LevelForRef, Kind: KindWhole,
 			})
 		}
 		if res.LevelForCand > 0 {
@@ -167,7 +243,7 @@ func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
 				ID: e.ID, Level: res.LevelForCand, Kind: KindWhole,
 			})
 		}
-		rec.measured[otherID] = 1 - res.LevelForRef
+		rec.measured[pm.Partner] = 1 - res.LevelForRef
 		other.measured[e.ID] = 1 - res.LevelForCand
 		for _, c := range res.SynthForRef {
 			rec.candidates = insertSorted(rec.candidates, c)
@@ -181,9 +257,9 @@ func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
 	// through a sampled Y, diff(new, Z) is bounded above by
 	// diff(new, Y) + diff(Y, Z); the paper's |A−B| lower bound is not
 	// needed for ranking, so the conservative upper bound is stored.
-	sampledSet := make(map[string]bool, len(sampled))
-	for _, id := range sampled {
-		sampledSet[id] = true
+	sampledSet := make(map[string]bool, len(meas))
+	for _, pm := range meas {
+		sampledSet[pm.Partner] = true
 	}
 	for _, otherID := range s.order {
 		if sampledSet[otherID] {
@@ -191,12 +267,12 @@ func (s *SemanticIndex) Insert(e Entry, analyzer Analyzer) error {
 		}
 		other := s.entries[otherID]
 		best := -1.0
-		for _, y := range sampled {
-			dNewY, ok := rec.measured[y]
+		for _, pm := range meas {
+			dNewY, ok := rec.measured[pm.Partner]
 			if !ok {
 				continue
 			}
-			dYZ, ok := s.entries[y].measured[otherID]
+			dYZ, ok := s.entries[pm.Partner].measured[otherID]
 			if !ok {
 				continue
 			}
@@ -265,15 +341,19 @@ func (s *SemanticIndex) Lookup(refID string, threshold float64) ([]Candidate, er
 	if !ok {
 		return nil, fmt.Errorf("index: model %q is not indexed", refID)
 	}
-	// The list is sorted descending: binary-search the cutoff and copy
-	// the matching prefix in one allocation.
-	cut := sort.Search(len(rec.candidates), func(i int) bool {
-		return rec.candidates[i].Level < threshold
+	return cutAtThreshold(rec.candidates, threshold), nil
+}
+
+// cutAtThreshold returns a copy of the descending-sorted list's prefix
+// at or above the threshold, binary-searching the cutoff.
+func cutAtThreshold(list []Candidate, threshold float64) []Candidate {
+	cut := sort.Search(len(list), func(i int) bool {
+		return list[i].Level < threshold
 	})
 	if cut == 0 {
-		return nil, nil
+		return nil
 	}
-	return append([]Candidate(nil), rec.candidates[:cut]...), nil
+	return append([]Candidate(nil), list[:cut]...)
 }
 
 // LookupByFingerprint resolves a model fingerprint to its indexed ID —
@@ -289,10 +369,15 @@ func (s *SemanticIndex) TopK(refID string, k int) ([]Candidate, error) {
 	if !ok {
 		return nil, fmt.Errorf("index: model %q is not indexed", refID)
 	}
-	if k > len(rec.candidates) {
-		k = len(rec.candidates)
+	return topOf(rec.candidates, k), nil
+}
+
+// topOf copies the first k records of a descending-sorted list.
+func topOf(list []Candidate, k int) []Candidate {
+	if k > len(list) {
+		k = len(list)
 	}
-	return append([]Candidate(nil), rec.candidates[:k]...), nil
+	return append([]Candidate(nil), list[:k]...)
 }
 
 // MemoryBytes estimates the in-memory footprint of the semantic index:

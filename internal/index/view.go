@@ -1,0 +1,117 @@
+package index
+
+import (
+	"fmt"
+
+	"sommelier/internal/lsh"
+	"sommelier/internal/resource"
+)
+
+// Views are immutable point-in-time copies of the two index structures,
+// the read side of the catalog's copy-on-write snapshot scheme: the
+// mutable SemanticIndex/ResourceIndex stay behind the writer lock, and
+// each commit publishes a fresh view that any number of readers can
+// query concurrently with zero locking. Candidate lists and profile
+// maps are copied at view-build time because insertSorted and lsh
+// bucket maintenance mutate their backing storage in place.
+
+// SemanticView is an immutable view of a SemanticIndex.
+type SemanticView struct {
+	order      []string
+	byFP       map[string]string
+	candidates map[string][]Candidate
+}
+
+// View captures the semantic index's current state as an immutable view.
+func (s *SemanticIndex) View() *SemanticView {
+	v := &SemanticView{
+		order:      append([]string(nil), s.order...),
+		byFP:       make(map[string]string, len(s.byFP)),
+		candidates: make(map[string][]Candidate, len(s.entries)),
+	}
+	for fp, id := range s.byFP {
+		v.byFP[fp] = id
+	}
+	for id, rec := range s.entries {
+		v.candidates[id] = append([]Candidate(nil), rec.candidates...)
+	}
+	return v
+}
+
+// Len returns the number of indexed models.
+func (v *SemanticView) Len() int { return len(v.order) }
+
+// Contains reports whether the model ID is indexed.
+func (v *SemanticView) Contains(id string) bool {
+	_, ok := v.candidates[id]
+	return ok
+}
+
+// IDs returns the indexed model IDs in insertion order.
+func (v *SemanticView) IDs() []string { return append([]string(nil), v.order...) }
+
+// Lookup returns, in descending level order, all candidates of the model
+// identified by refID whose equivalence level meets the threshold.
+func (v *SemanticView) Lookup(refID string, threshold float64) ([]Candidate, error) {
+	list, ok := v.candidates[refID]
+	if !ok {
+		return nil, fmt.Errorf("index: model %q is not indexed", refID)
+	}
+	return cutAtThreshold(list, threshold), nil
+}
+
+// TopK returns the refID's K best candidates regardless of threshold.
+func (v *SemanticView) TopK(refID string, k int) ([]Candidate, error) {
+	list, ok := v.candidates[refID]
+	if !ok {
+		return nil, fmt.Errorf("index: model %q is not indexed", refID)
+	}
+	return topOf(list, k), nil
+}
+
+// LookupByFingerprint resolves a model fingerprint to its indexed ID.
+func (v *SemanticView) LookupByFingerprint(fp string) (string, bool) {
+	id, ok := v.byFP[fp]
+	return id, ok
+}
+
+// ResourceView is an immutable view of a ResourceIndex. It keeps its
+// own clone of the LSH structure so the two-phase budget lookup (§5.3)
+// stays available to lock-free readers.
+type ResourceView struct {
+	lsh      *lsh.Index
+	profiles map[string]resource.Profile
+}
+
+// View captures the resource index's current state as an immutable view.
+func (r *ResourceIndex) View() *ResourceView {
+	v := &ResourceView{
+		lsh:      r.lsh.Clone(),
+		profiles: make(map[string]resource.Profile, len(r.profiles)),
+	}
+	for id, p := range r.profiles {
+		v.profiles[id] = p
+	}
+	return v
+}
+
+// Len returns the number of indexed profiles.
+func (v *ResourceView) Len() int { return len(v.profiles) }
+
+// Profile returns the stored profile for id.
+func (v *ResourceView) Profile(id string) (resource.Profile, bool) {
+	p, ok := v.profiles[id]
+	return p, ok
+}
+
+// Candidates returns the IDs whose profiles satisfy the budget,
+// following the same two-phase LSH-probe-then-exact-check lookup as
+// ResourceIndex.Candidates.
+func (v *ResourceView) Candidates(b Budget, maxDist float64) ([]string, error) {
+	return budgetCandidates(v.lsh, v.profiles, b, maxDist)
+}
+
+// CandidatesExact scans every profile — the ablation baseline.
+func (v *ResourceView) CandidatesExact(b Budget) []string {
+	return exactCandidates(v.profiles, b)
+}

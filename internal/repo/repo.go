@@ -93,6 +93,11 @@ func metadataOf(id string, m *graph.Model) Metadata {
 	return md
 }
 
+// IDFor returns the repository ID Publish would assign to the model:
+// name@version. Callers use it to ask about a model's slot before
+// publishing (e.g. "would this publish overwrite something?").
+func IDFor(m *graph.Model) string { return m.Name + "@" + m.Version }
+
 // Publish stores a model and returns its repository ID (name@version).
 // Publishing an existing ID overwrites it, matching hub semantics of
 // re-pushing a version.
@@ -100,7 +105,7 @@ func (r *Repository) Publish(m *graph.Model) (string, error) {
 	if err := m.Validate(); err != nil {
 		return "", fmt.Errorf("repo: refusing invalid model: %w", err)
 	}
-	id := m.Name + "@" + m.Version
+	id := IDFor(m)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.dir != "" {

@@ -37,6 +37,10 @@ func (p Profile) Vector() []float64 {
 	}
 }
 
+// IsZero reports whether the profile carries no measurements — the
+// zero value, as distinct from a real (if tiny) measured profile.
+func (p Profile) IsZero() bool { return p == Profile{} }
+
 // RelativeTo returns this profile's usage as fractions of a reference
 // profile, the form queries express budgets in ("80% of ResNet memory").
 func (p Profile) RelativeTo(ref Profile) (memFrac, flopsFrac, latFrac float64) {
@@ -161,12 +165,17 @@ type Profiler struct {
 }
 
 // NewProfiler returns a profiler using the given latency table, or the
-// default table when nil.
+// default table when nil. The table is copied defensively so later
+// caller mutations can't race with concurrent Measure calls.
 func NewProfiler(table LatencyTable) *Profiler {
 	if table == nil {
 		table = DefaultLatencyTable()
 	}
-	return &Profiler{table: table}
+	cp := make(LatencyTable, len(table))
+	for k, v := range table {
+		cp[k] = v
+	}
+	return &Profiler{table: cp}
 }
 
 // Measure computes the model's profile under the default execution

@@ -25,17 +25,13 @@ const snapshotVersion = 1
 // LoadIndexes over the same repository restores the engine without
 // re-running the pairwise equivalence analysis.
 func (e *Engine) SaveIndexes(w io.Writer) error {
-	e.mu.RLock()
+	sem, res, refs := e.cat.Export()
 	snap := engineSnapshot{
 		Version:     snapshotVersion,
-		Semantic:    e.sem.Snapshot(),
-		Resource:    e.res.Snapshot(),
-		DefaultRefs: make(map[string]string, len(e.defaultRefs)),
+		Semantic:    sem,
+		Resource:    res,
+		DefaultRefs: refs,
 	}
-	for k, v := range e.defaultRefs {
-		snap.DefaultRefs[k] = v
-	}
-	e.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(&snap)
 }
@@ -53,17 +49,5 @@ func (e *Engine) LoadIndexes(r io.Reader) error {
 		return fmt.Errorf("sommelier: unsupported snapshot version %d", snap.Version)
 	}
 	resolve := func(id string) (*graph.Model, error) { return e.store.Load(id) }
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.sem.Restore(snap.Semantic, resolve); err != nil {
-		return err
-	}
-	if err := e.res.Restore(snap.Resource); err != nil {
-		return err
-	}
-	e.defaultRefs = make(map[string]string, len(snap.DefaultRefs))
-	for k, v := range snap.DefaultRefs {
-		e.defaultRefs[k] = v
-	}
-	return nil
+	return e.cat.Restore(snap.Semantic, snap.Resource, snap.DefaultRefs, resolve)
 }

@@ -14,7 +14,7 @@ import (
 // respected. One shared engine keeps the property check fast.
 func TestPropertyQueryContract(t *testing.T) {
 	eng, refID, _ := newEngineWithLadder(t, false)
-	refProf, ok := eng.res.Profile(refID)
+	refProf, ok := eng.Profile(refID)
 	if !ok {
 		t.Fatal("reference profile missing")
 	}

@@ -1,0 +1,358 @@
+package sommelier
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"sommelier/internal/equiv"
+	"sommelier/internal/graph"
+	"sommelier/internal/index"
+	"sommelier/internal/query"
+	"sommelier/internal/resource"
+)
+
+// Query parses and executes a query string.
+func (e *Engine) Query(q string) ([]Result, error) {
+	ast, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryAST(ast)
+}
+
+// QueryAST executes a parsed query through the three-stage pipeline
+// (§5.4). The whole query runs against one catalog snapshot, so its
+// answer is internally consistent — and lock-free — no matter how many
+// models are being registered concurrently.
+func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	snap := e.cat.Snapshot()
+
+	refID := q.Ref
+	if refID == "" {
+		id, ok := snap.DefaultReference(q.Task)
+		if !ok {
+			return nil, fmt.Errorf("sommelier: no default reference for task %q", q.Task)
+		}
+		refID = id
+	}
+	if !snap.Contains(refID) {
+		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
+	}
+	refProf, ok := snap.Profile(refID)
+	if !ok {
+		return nil, fmt.Errorf("sommelier: reference model %q has no resource profile", refID)
+	}
+
+	// Stage 1: semantic filter.
+	cands, err := snap.Lookup(refID, q.Threshold)
+	if err != nil {
+		return nil, err
+	}
+
+	// An EXEC spec re-profiles models under the requested execution
+	// setting (§5.3: batch size and precision shift real footprints);
+	// without one, the indexed default-setting profiles apply.
+	setting, reprofile, err := execSetting(q.Exec)
+	if err != nil {
+		return nil, err
+	}
+	profileOf := func(id string) (resource.Profile, error) {
+		if !reprofile {
+			p, _ := snap.Profile(id)
+			return p, nil
+		}
+		m, err := e.store.Load(id)
+		if err != nil {
+			return resource.Profile{}, err
+		}
+		return e.cat.Profiler().MeasureWith(m, setting)
+	}
+	if reprofile {
+		if refProf, err = profileOf(refID); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: resource filter. Build the absolute budget vector from
+	// the constraints (relative values scale the reference profile),
+	// retrieve profile-feasible IDs via the LSH index, and intersect.
+	// Under an EXEC spec the LSH prefilter is skipped — the indexed
+	// vectors describe the default setting — and the exact per-candidate
+	// check below is authoritative.
+	budget, err := budgetFrom(q.Constraints, refProf)
+	if err != nil {
+		return nil, err
+	}
+	feasible := make(map[string]bool)
+	if len(q.Constraints) == 0 || reprofile {
+		for _, c := range cands {
+			feasible[candProfileID(c)] = true
+		}
+	} else {
+		ids, err := snap.ResourceCandidates(budget, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			feasible[id] = true
+		}
+	}
+
+	var results []Result
+	for _, c := range cands {
+		pid := candProfileID(c)
+		if !feasible[pid] {
+			continue
+		}
+		prof, err := profileOf(pid)
+		if err != nil {
+			return nil, err
+		}
+		if !exactlySatisfies(q.Constraints, prof, refProf) {
+			continue
+		}
+		results = append(results, Result{
+			ID:          pid,
+			Level:       c.Level,
+			Synthesized: c.Kind == index.KindSynthesized,
+			DonorID:     c.DonorID,
+			Segment:     c.Segment,
+			Derived:     c.Derived,
+			Profile:     prof,
+		})
+	}
+
+	// Stage 3: final selection.
+	sortResults(results, q.Pick)
+	if q.Limit > 0 && len(results) > q.Limit {
+		results = results[:q.Limit]
+	}
+	return results, nil
+}
+
+// TopEquivalents returns the reference's K best semantic candidates — the
+// primitive behind the DNN-testing case study and Figure 13.
+func (e *Engine) TopEquivalents(refID string, k int) ([]Result, error) {
+	snap := e.cat.Snapshot()
+	cands, err := snap.TopK(refID, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(cands))
+	for _, c := range cands {
+		prof, _ := snap.Profile(c.ID)
+		out = append(out, Result{
+			ID: c.ID, Level: c.Level,
+			Synthesized: c.Kind == index.KindSynthesized,
+			DonorID:     c.DonorID, Segment: c.Segment,
+			Derived: c.Derived, Profile: prof,
+		})
+	}
+	return out, nil
+}
+
+// Materialize loads the concrete model for a result. Synthesized results
+// are built on demand by transplanting the donor segment (§5.2 lookup
+// case (ii)).
+func (e *Engine) Materialize(r Result) (*graph.Model, error) {
+	base, err := e.store.Load(r.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Synthesized {
+		return base, nil
+	}
+	donor, err := e.store.Load(r.DonorID)
+	if err != nil {
+		return nil, err
+	}
+	minLen := e.opts.SegmentMinLen
+	if minLen <= 0 {
+		minLen = 3
+	}
+	pairs, err := equiv.CommonSegments(base, donor, minLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("sommelier: synthesized segments no longer present between %q and %q",
+			r.ID, r.DonorID)
+	}
+	out := base
+	for _, p := range pairs {
+		p.A.Model = out
+		twin, err := equiv.SynthesizeReplacement(out, p)
+		if err != nil {
+			return nil, err
+		}
+		out = twin
+	}
+	return out, nil
+}
+
+// candProfileID returns the ID whose resource profile represents the
+// candidate: synthesized models share their base's architecture, hence
+// its profile.
+func candProfileID(c index.Candidate) string { return c.ID }
+
+// execSetting translates a query's EXEC spec into a resource execution
+// setting. Recognized keys: batch (int), precision (fp16|fp32),
+// overhead (fraction). Unknown keys are ignored so serving systems can
+// pass opaque hints through.
+func execSetting(exec map[string]string) (resource.ExecSetting, bool, error) {
+	if len(exec) == 0 {
+		return resource.ExecSetting{}, false, nil
+	}
+	s := resource.DefaultSetting()
+	s.Name = "exec-spec"
+	used := false
+	if v, ok := exec["batch"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return s, false, fmt.Errorf("sommelier: bad EXEC batch %q", v)
+		}
+		s.BatchSize = n
+		used = true
+	}
+	if v, ok := exec["precision"]; ok {
+		switch v {
+		case "fp16":
+			s.ActivationBytes = 2
+		case "fp32":
+			s.ActivationBytes = 4
+		default:
+			return s, false, fmt.Errorf("sommelier: bad EXEC precision %q", v)
+		}
+		used = true
+	}
+	if v, ok := exec["overhead"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return s, false, fmt.Errorf("sommelier: bad EXEC overhead %q", v)
+		}
+		s.RuntimeOverhead = f
+		used = true
+	}
+	return s, used, nil
+}
+
+// budgetFrom converts upper-bound constraints into an absolute Budget.
+func budgetFrom(cs []query.Constraint, ref resource.Profile) (index.Budget, error) {
+	var b index.Budget
+	for _, c := range cs {
+		if c.Op == query.OpGT || c.Op == query.OpGE {
+			continue // lower bounds are enforced by exactlySatisfies
+		}
+		v, err := absoluteValue(c, ref)
+		if err != nil {
+			return b, err
+		}
+		switch c.Metric {
+		case query.MetricMemory:
+			b.MaxMemoryBytes = int64(v)
+		case query.MetricFLOPs:
+			b.MaxFLOPs = int64(v)
+		case query.MetricLatency:
+			b.MaxLatencyMS = v
+		}
+	}
+	return b, nil
+}
+
+// absoluteValue resolves a constraint to the metric's native unit
+// (bytes, FLOPs, milliseconds).
+func absoluteValue(c query.Constraint, ref resource.Profile) (float64, error) {
+	if c.Relative() {
+		frac := c.Value / 100
+		switch c.Metric {
+		case query.MetricMemory:
+			return frac * float64(ref.MemoryBytes), nil
+		case query.MetricFLOPs:
+			return frac * float64(ref.FLOPs), nil
+		case query.MetricLatency:
+			return frac * ref.LatencyMS, nil
+		}
+	}
+	switch c.Unit {
+	case query.UnitMB:
+		return c.Value * (1 << 20), nil
+	case query.UnitGB:
+		return c.Value * (1 << 30), nil
+	case query.UnitGFLOPs:
+		return c.Value * 1e9, nil
+	case query.UnitTFLOPs:
+		return c.Value * 1e12, nil
+	case query.UnitMS, query.UnitNone:
+		return c.Value, nil
+	}
+	return 0, fmt.Errorf("sommelier: cannot resolve constraint %s", c)
+}
+
+// exactlySatisfies re-checks every constraint (including lower bounds and
+// strict inequalities) against a candidate profile.
+func exactlySatisfies(cs []query.Constraint, p, ref resource.Profile) bool {
+	for _, c := range cs {
+		limit, err := absoluteValue(c, ref)
+		if err != nil {
+			return false
+		}
+		var v float64
+		switch c.Metric {
+		case query.MetricMemory:
+			v = float64(p.MemoryBytes)
+		case query.MetricFLOPs:
+			v = float64(p.FLOPs)
+		case query.MetricLatency:
+			v = p.LatencyMS
+		}
+		switch c.Op {
+		case query.OpLT:
+			if !(v < limit) {
+				return false
+			}
+		case query.OpLE:
+			if !(v <= limit) {
+				return false
+			}
+		case query.OpGT:
+			if !(v > limit) {
+				return false
+			}
+		case query.OpGE:
+			if !(v >= limit) {
+				return false
+			}
+		case query.OpEQ:
+			// Equality on continuous profiles means "within 5%".
+			if v < limit*0.95 || v > limit*1.05 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortResults(rs []Result, pick query.PickKind) {
+	less := func(i, j int) bool { return rs[i].Level > rs[j].Level }
+	switch pick {
+	case query.PickSmallest:
+		less = func(i, j int) bool { return rs[i].Profile.MemoryBytes < rs[j].Profile.MemoryBytes }
+	case query.PickFastest:
+		less = func(i, j int) bool { return rs[i].Profile.LatencyMS < rs[j].Profile.LatencyMS }
+	case query.PickCheapest:
+		less = func(i, j int) bool { return rs[i].Profile.FLOPs < rs[j].Profile.FLOPs }
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if less(i, j) {
+			return true
+		}
+		if less(j, i) {
+			return false
+		}
+		return rs[i].ID < rs[j].ID // deterministic tie-break
+	})
+}

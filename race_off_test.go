@@ -1,0 +1,8 @@
+//go:build !race
+
+package sommelier
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose ~10x slowdown makes wall-clock speedup assertions
+// meaningless.
+const raceEnabled = false

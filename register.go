@@ -1,0 +1,108 @@
+package sommelier
+
+import (
+	"errors"
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/index"
+	"sommelier/internal/repo"
+)
+
+// ErrPublishedUnindexed is wrapped by Register when the model reached
+// the repository but indexing failed AND the rollback delete also
+// failed: the store now holds a model the engine does not know about.
+// Callers can retry with IndexAll (which picks up unindexed repository
+// models) or delete the ID themselves.
+var ErrPublishedUnindexed = errors.New("model published but not indexed")
+
+// Register publishes the model to the repository and indexes it. It
+// returns the repository ID.
+//
+// Publish-then-index is not atomic; Register restores the invariant
+// "published implies indexed" on failure by deleting what it just
+// published. The rollback is skipped when the publish overwrote a
+// pre-existing ID (deleting would destroy the prior version) or when a
+// concurrent writer indexed the ID first (the model is in the index —
+// just not through this call).
+func (e *Engine) Register(m *graph.Model) (string, error) {
+	var preexisted bool
+	if m != nil {
+		_, preexisted = e.store.Metadata(repo.IDFor(m))
+	}
+	id, err := e.store.Publish(m)
+	if err != nil {
+		return "", err
+	}
+	if err := e.cat.Index(id, m); err != nil {
+		if errors.Is(err, index.ErrAlreadyIndexed) {
+			return "", err
+		}
+		if preexisted {
+			return "", err
+		}
+		if delErr := e.store.Delete(id); delErr != nil {
+			return "", fmt.Errorf("sommelier: %w: %q: indexing failed (%v) and rollback failed (%v)",
+				ErrPublishedUnindexed, id, err, delErr)
+		}
+		return "", err
+	}
+	return id, nil
+}
+
+// RegisterAnnotated publishes and indexes a model using designer-supplied
+// equivalence annotations (§5.5, "Supporting developer annotations")
+// instead of running the pairwise analysis against the annotated models:
+// levels maps already-indexed model IDs to the functional-equivalence
+// level the designer declares for them relative to this model. The
+// declared levels are recorded symmetrically and commit atomically: a
+// bad level or an unindexed reference applies no annotation edge at
+// all. Models NOT covered by an annotation are still analyzed normally
+// — annotations replace only the measurements they actually provide.
+func (e *Engine) RegisterAnnotated(m *graph.Model, levels map[string]float64) (string, error) {
+	for id, lvl := range levels {
+		if lvl < 0 || lvl > 1 {
+			return "", fmt.Errorf("sommelier: annotation level %g for %q outside [0,1]", lvl, id)
+		}
+	}
+	id, err := e.Register(m)
+	if err != nil {
+		return "", err
+	}
+	if err := e.cat.Annotate(id, levels); err != nil {
+		return "", fmt.Errorf("sommelier: annotation references unindexed model: %w", err)
+	}
+	return id, nil
+}
+
+// IndexAll indexes every repository model not yet indexed, in repository
+// order, fanning the pairwise analysis out across Options.IndexWorkers.
+// Models indexed concurrently by other writers are skipped, not
+// errors. It returns on the first analysis or commit failure; models
+// committed before the failure stay indexed.
+func (e *Engine) IndexAll() error {
+	snap := e.cat.Snapshot()
+	var entries []index.Entry
+	for _, md := range e.store.List() {
+		if snap.Contains(md.ID) {
+			continue
+		}
+		m, err := e.store.Load(md.ID)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, index.Entry{ID: md.ID, Model: m})
+	}
+	_, err := e.cat.IndexBatch(entries)
+	return err
+}
+
+// IndexModel indexes an already published model, skipping it silently
+// if it is already indexed — the hook hub servers call after accepting
+// an upload.
+func (e *Engine) IndexModel(id string, m *graph.Model) error {
+	if err := e.cat.Index(id, m); err != nil && !errors.Is(err, index.ErrAlreadyIndexed) {
+		return err
+	}
+	return nil
+}

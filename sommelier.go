@@ -6,10 +6,12 @@
 // (Figure 1 of the paper). Models registered with the engine are analyzed
 // for pairwise functional equivalence (internal/equiv, §4), profiled for
 // resource usage (internal/resource, §5.3), and organized into a semantic
-// index and an LSH resource index (internal/index, §5.2–5.3). Queries in
-// the Figure 7 syntax are parsed (internal/query) and executed as a
+// index and an LSH resource index (internal/index, §5.2–5.3), both owned
+// by internal/catalog behind copy-on-write snapshots. Queries in the
+// Figure 7 syntax are parsed (internal/query) and executed as a
 // three-stage filter pipeline (§5.4): semantic filter → resource filter →
-// final selection.
+// final selection — every stage reading one consistent snapshot, with no
+// locking against concurrent registration.
 //
 // A minimal session:
 //
@@ -17,27 +19,22 @@
 //	eng, _ := sommelier.New(store, sommelier.Options{})
 //	id, _ := eng.Register(model)
 //	results, _ := eng.Query(`SELECT CORR "` + id + `" WITHIN 90% ON memory <= 80% PICK most_similar`)
+//
+// The Engine itself is a thin facade: engine.go holds construction and
+// accessors, register.go the write path (publish + staged indexing),
+// querying.go the read path.
 package sommelier
 
 import (
-	"fmt"
-	"sort"
-	"strconv"
-	"sync"
-
 	"sommelier/internal/dataset"
 	"sommelier/internal/equiv"
-	"sommelier/internal/graph"
-	"sommelier/internal/index"
-	"sommelier/internal/query"
-	"sommelier/internal/repo"
 	"sommelier/internal/resource"
 )
 
 // Options configures an Engine (§5.5's knobs).
 type Options struct {
 	// Seed drives every random choice; equal seeds give identical
-	// indexes and results.
+	// indexes and results, at any IndexWorkers setting.
 	Seed uint64
 	// ValidationSize is the per-task probe dataset size used for
 	// empirical equivalence measurement (default 300).
@@ -53,19 +50,18 @@ type Options struct {
 	// SampleSize overrides the semantic index's pairwise sample count
 	// (the paper uses 5).
 	SampleSize int
+	// IndexWorkers bounds the indexing pipeline's concurrency: how
+	// many pairwise analyses and profile measurements run at once
+	// during Register and IndexAll. Zero means runtime.GOMAXPROCS(0).
+	// The worker count never changes indexing results — only how fast
+	// they arrive.
+	IndexWorkers int
 	// LatencyTable overrides the per-operator latency table.
 	LatencyTable resource.LatencyTable
 	// CustomValidation, when set, is used instead of generated probe
 	// data for models whose input shape matches (the "custom" bound
 	// knob of §5.5).
 	CustomValidation *dataset.Dataset
-}
-
-func (o Options) validationSize() int {
-	if o.ValidationSize <= 0 {
-		return 300
-	}
-	return o.ValidationSize
 }
 
 // Result is one model returned by a query, with everything an inference
@@ -84,614 +80,4 @@ type Result struct {
 	Derived bool
 	// Profile is the candidate's resource profile.
 	Profile resource.Profile
-}
-
-// Engine is the Sommelier query engine.
-type Engine struct {
-	opts Options
-
-	mu       sync.RWMutex
-	store    *repo.Repository
-	sem      *index.SemanticIndex
-	res      *index.ResourceIndex
-	profiler *resource.Profiler
-	// valSets caches one probe dataset per input-shape signature.
-	valSets map[string]*dataset.Dataset
-	// defaultRefs maps task categories to reference model IDs.
-	defaultRefs map[string]string
-	valSeed     uint64
-}
-
-// New creates an engine over an existing repository. Models already in
-// the repository are NOT indexed automatically; call IndexAll or Register.
-func New(store *repo.Repository, opts Options) (*Engine, error) {
-	if store == nil {
-		return nil, fmt.Errorf("sommelier: nil repository")
-	}
-	e := &Engine{
-		opts:        opts,
-		store:       store,
-		sem:         index.NewSemanticIndex(opts.Seed + 1),
-		res:         index.NewResourceIndex(opts.Seed + 2),
-		profiler:    resource.NewProfiler(opts.LatencyTable),
-		valSets:     make(map[string]*dataset.Dataset),
-		defaultRefs: make(map[string]string),
-		valSeed:     opts.Seed + 3,
-	}
-	if opts.SampleSize > 0 {
-		e.sem.SampleSize = opts.SampleSize
-	}
-	return e, nil
-}
-
-// Store returns the underlying repository.
-func (e *Engine) Store() *repo.Repository { return e.store }
-
-// IndexedLen returns the number of indexed models.
-func (e *Engine) IndexedLen() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.sem.Len()
-}
-
-// Register publishes the model to the repository and indexes it. It
-// returns the repository ID.
-func (e *Engine) Register(m *graph.Model) (string, error) {
-	id, err := e.store.Publish(m)
-	if err != nil {
-		return "", err
-	}
-	if err := e.indexModel(id, m); err != nil {
-		return "", err
-	}
-	return id, nil
-}
-
-// RegisterAnnotated publishes and indexes a model using designer-supplied
-// equivalence annotations (§5.5, "Supporting developer annotations")
-// instead of running the pairwise analysis against the annotated models:
-// levels maps already-indexed model IDs to the functional-equivalence
-// level the designer declares for them relative to this model. The
-// declared levels are recorded symmetrically. Models NOT covered by an
-// annotation are still analyzed normally — annotations replace only the
-// measurements they actually provide.
-func (e *Engine) RegisterAnnotated(m *graph.Model, levels map[string]float64) (string, error) {
-	for id, lvl := range levels {
-		if lvl < 0 || lvl > 1 {
-			return "", fmt.Errorf("sommelier: annotation level %g for %q outside [0,1]", lvl, id)
-		}
-	}
-	id, err := e.Register(m)
-	if err != nil {
-		return "", err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var own []index.Candidate
-	for otherID, lvl := range levels {
-		if !e.sem.Contains(otherID) {
-			return "", fmt.Errorf("sommelier: annotation references unindexed model %q", otherID)
-		}
-		own = append(own, index.Candidate{ID: otherID, Level: lvl, Kind: index.KindWhole})
-		if err := e.sem.InsertPrecomputed(otherID, []index.Candidate{
-			{ID: id, Level: lvl, Kind: index.KindWhole},
-		}); err != nil {
-			return "", err
-		}
-	}
-	if len(own) > 0 {
-		if err := e.sem.InsertPrecomputed(id, own); err != nil {
-			return "", err
-		}
-	}
-	return id, nil
-}
-
-// IndexAll indexes every repository model not yet indexed, in repository
-// order.
-func (e *Engine) IndexAll() error {
-	for _, md := range e.store.List() {
-		e.mu.RLock()
-		have := e.sem.Contains(md.ID)
-		e.mu.RUnlock()
-		if have {
-			continue
-		}
-		m, err := e.store.Load(md.ID)
-		if err != nil {
-			return err
-		}
-		if err := e.indexModel(md.ID, m); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (e *Engine) indexModel(id string, m *graph.Model) error {
-	prof, err := e.profiler.Measure(m)
-	if err != nil {
-		return fmt.Errorf("sommelier: profiling %q: %w", id, err)
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.sem.Insert(index.Entry{ID: id, Model: m}, &pairAnalyzer{e: e}); err != nil {
-		return err
-	}
-	if err := e.res.Insert(id, prof); err != nil {
-		return err
-	}
-	// First model of a task category becomes its default reference.
-	task := string(m.Task)
-	if _, ok := e.defaultRefs[task]; !ok {
-		e.defaultRefs[task] = id
-	}
-	return nil
-}
-
-// SetDefaultReference sets the reference model used when a query names a
-// task category instead of a model (§5.1).
-func (e *Engine) SetDefaultReference(task, id string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.sem.Contains(id) {
-		return fmt.Errorf("sommelier: %q is not indexed", id)
-	}
-	e.defaultRefs[task] = id
-	return nil
-}
-
-// validationFor returns (building if needed) the probe dataset for a
-// model's input shape.
-func (e *Engine) validationFor(m *graph.Model) *dataset.Dataset {
-	if cv := e.opts.CustomValidation; cv != nil && cv.Len() > 0 &&
-		cv.Inputs[0].Shape().Equal(m.InputShape) {
-		return cv
-	}
-	key := m.InputShape.String()
-	if d, ok := e.valSets[key]; ok {
-		return d
-	}
-	d := &dataset.Dataset{
-		Name:   "probe" + key,
-		Inputs: dataset.RandomImages(e.opts.validationSize(), m.InputShape, e.valSeed),
-	}
-	e.valSets[key] = d
-	return d
-}
-
-// pairAnalyzer adapts internal/equiv to the semantic index's Analyzer
-// interface, measuring whole-model equivalence in both directions and —
-// when enabled — segment-level replacements.
-type pairAnalyzer struct{ e *Engine }
-
-func (a *pairAnalyzer) Analyze(ref, cand index.Entry) (index.AnalysisResult, error) {
-	e := a.e
-	opts := equiv.Options{
-		Epsilon: 1, // levels are recorded; thresholds apply at query time
-		Bound:   e.opts.Bound,
-		Seed:    e.opts.Seed,
-	}
-	val := e.validationFor(ref.Model)
-	fwd, err := equiv.CheckWhole(ref.Model, cand.Model, val, opts)
-	if err != nil {
-		return index.AnalysisResult{}, err
-	}
-	valB := e.validationFor(cand.Model)
-	rev, err := equiv.CheckWhole(cand.Model, ref.Model, valB, opts)
-	if err != nil {
-		return index.AnalysisResult{}, err
-	}
-	res := index.AnalysisResult{
-		LevelForRef:  fwd.Score(),
-		LevelForCand: rev.Score(),
-	}
-	if e.opts.Segments {
-		res.SynthForRef, res.SynthForCand = a.segmentCandidates(ref, cand)
-	}
-	return res, nil
-}
-
-// segmentCandidates assesses segment replacements in both directions.
-// Failures here degrade to "no synthesized candidates" rather than
-// failing the insertion: segment analysis is a recall enhancement.
-func (a *pairAnalyzer) segmentCandidates(ref, cand index.Entry) (forRef, forCand []index.Candidate) {
-	e := a.e
-	minLen := e.opts.SegmentMinLen
-	if minLen <= 0 {
-		minLen = 3
-	}
-	pairs, err := equiv.CommonSegments(ref.Model, cand.Model, minLen)
-	if err != nil || len(pairs) == 0 {
-		return nil, nil
-	}
-	eopts := equiv.Options{Epsilon: 0.1, Seed: e.opts.Seed, ProbeCount: 12}
-	if r, err := equiv.AssessReplacement(ref.Model, pairs, eopts); err == nil && len(r.Kept) > 0 {
-		forRef = append(forRef, index.Candidate{
-			ID:      ref.ID,
-			Level:   r.Level(),
-			Kind:    index.KindSynthesized,
-			DonorID: cand.ID,
-			Segment: segmentLabel(r.Kept),
-		})
-	}
-	// Reverse direction: segments of ref transplanted into cand.
-	rev := make([]equiv.SegmentPair, len(pairs))
-	for i, p := range pairs {
-		rev[i] = equiv.SegmentPair{A: p.B, B: p.A}
-	}
-	if r, err := equiv.AssessReplacement(cand.Model, rev, eopts); err == nil && len(r.Kept) > 0 {
-		forCand = append(forCand, index.Candidate{
-			ID:      cand.ID,
-			Level:   r.Level(),
-			Kind:    index.KindSynthesized,
-			DonorID: ref.ID,
-			Segment: segmentLabel(r.Kept),
-		})
-	}
-	return forRef, forCand
-}
-
-func segmentLabel(pairs []equiv.SegmentPair) string {
-	if len(pairs) == 0 {
-		return ""
-	}
-	s := pairs[0].A
-	label := fmt.Sprintf("%s..%s", s.First(), s.Last())
-	if len(pairs) > 1 {
-		label += fmt.Sprintf("+%d", len(pairs)-1)
-	}
-	return label
-}
-
-// Query parses and executes a query string.
-func (e *Engine) Query(q string) ([]Result, error) {
-	ast, err := query.Parse(q)
-	if err != nil {
-		return nil, err
-	}
-	return e.QueryAST(ast)
-}
-
-// QueryAST executes a parsed query through the three-stage pipeline.
-func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-
-	refID := q.Ref
-	if refID == "" {
-		id, ok := e.defaultRefs[q.Task]
-		if !ok {
-			return nil, fmt.Errorf("sommelier: no default reference for task %q", q.Task)
-		}
-		refID = id
-	}
-	if !e.sem.Contains(refID) {
-		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
-	}
-	refProf, ok := e.res.Profile(refID)
-	if !ok {
-		return nil, fmt.Errorf("sommelier: reference model %q has no resource profile", refID)
-	}
-
-	// Stage 1: semantic filter.
-	cands, err := e.sem.Lookup(refID, q.Threshold)
-	if err != nil {
-		return nil, err
-	}
-
-	// An EXEC spec re-profiles models under the requested execution
-	// setting (§5.3: batch size and precision shift real footprints);
-	// without one, the indexed default-setting profiles apply.
-	setting, reprofile, err := execSetting(q.Exec)
-	if err != nil {
-		return nil, err
-	}
-	profileOf := func(id string) (resource.Profile, error) {
-		if !reprofile {
-			p, _ := e.res.Profile(id)
-			return p, nil
-		}
-		m, err := e.store.Load(id)
-		if err != nil {
-			return resource.Profile{}, err
-		}
-		return e.profiler.MeasureWith(m, setting)
-	}
-	if reprofile {
-		if refProf, err = profileOf(refID); err != nil {
-			return nil, err
-		}
-	}
-
-	// Stage 2: resource filter. Build the absolute budget vector from
-	// the constraints (relative values scale the reference profile),
-	// retrieve profile-feasible IDs via the LSH index, and intersect.
-	// Under an EXEC spec the LSH prefilter is skipped — the indexed
-	// vectors describe the default setting — and the exact per-candidate
-	// check below is authoritative.
-	budget, err := budgetFrom(q.Constraints, refProf)
-	if err != nil {
-		return nil, err
-	}
-	feasible := make(map[string]bool)
-	if len(q.Constraints) == 0 || reprofile {
-		for _, c := range cands {
-			feasible[candProfileID(c)] = true
-		}
-	} else {
-		ids, err := e.res.Candidates(budget, 0)
-		if err != nil {
-			return nil, err
-		}
-		for _, id := range ids {
-			feasible[id] = true
-		}
-	}
-
-	var results []Result
-	for _, c := range cands {
-		pid := candProfileID(c)
-		if !feasible[pid] {
-			continue
-		}
-		prof, err := profileOf(pid)
-		if err != nil {
-			return nil, err
-		}
-		if !exactlySatisfies(q.Constraints, prof, refProf) {
-			continue
-		}
-		results = append(results, Result{
-			ID:          pid,
-			Level:       c.Level,
-			Synthesized: c.Kind == index.KindSynthesized,
-			DonorID:     c.DonorID,
-			Segment:     c.Segment,
-			Derived:     c.Derived,
-			Profile:     prof,
-		})
-	}
-
-	// Stage 3: final selection.
-	sortResults(results, q.Pick)
-	if q.Limit > 0 && len(results) > q.Limit {
-		results = results[:q.Limit]
-	}
-	return results, nil
-}
-
-// candProfileID returns the ID whose resource profile represents the
-// candidate: synthesized models share their base's architecture, hence
-// its profile.
-func candProfileID(c index.Candidate) string { return c.ID }
-
-// execSetting translates a query's EXEC spec into a resource execution
-// setting. Recognized keys: batch (int), precision (fp16|fp32),
-// overhead (fraction). Unknown keys are ignored so serving systems can
-// pass opaque hints through.
-func execSetting(exec map[string]string) (resource.ExecSetting, bool, error) {
-	if len(exec) == 0 {
-		return resource.ExecSetting{}, false, nil
-	}
-	s := resource.DefaultSetting()
-	s.Name = "exec-spec"
-	used := false
-	if v, ok := exec["batch"]; ok {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return s, false, fmt.Errorf("sommelier: bad EXEC batch %q", v)
-		}
-		s.BatchSize = n
-		used = true
-	}
-	if v, ok := exec["precision"]; ok {
-		switch v {
-		case "fp16":
-			s.ActivationBytes = 2
-		case "fp32":
-			s.ActivationBytes = 4
-		default:
-			return s, false, fmt.Errorf("sommelier: bad EXEC precision %q", v)
-		}
-		used = true
-	}
-	if v, ok := exec["overhead"]; ok {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f < 0 {
-			return s, false, fmt.Errorf("sommelier: bad EXEC overhead %q", v)
-		}
-		s.RuntimeOverhead = f
-		used = true
-	}
-	return s, used, nil
-}
-
-// budgetFrom converts upper-bound constraints into an absolute Budget.
-func budgetFrom(cs []query.Constraint, ref resource.Profile) (index.Budget, error) {
-	var b index.Budget
-	for _, c := range cs {
-		if c.Op == query.OpGT || c.Op == query.OpGE {
-			continue // lower bounds are enforced by exactlySatisfies
-		}
-		v, err := absoluteValue(c, ref)
-		if err != nil {
-			return b, err
-		}
-		switch c.Metric {
-		case query.MetricMemory:
-			b.MaxMemoryBytes = int64(v)
-		case query.MetricFLOPs:
-			b.MaxFLOPs = int64(v)
-		case query.MetricLatency:
-			b.MaxLatencyMS = v
-		}
-	}
-	return b, nil
-}
-
-// absoluteValue resolves a constraint to the metric's native unit
-// (bytes, FLOPs, milliseconds).
-func absoluteValue(c query.Constraint, ref resource.Profile) (float64, error) {
-	if c.Relative() {
-		frac := c.Value / 100
-		switch c.Metric {
-		case query.MetricMemory:
-			return frac * float64(ref.MemoryBytes), nil
-		case query.MetricFLOPs:
-			return frac * float64(ref.FLOPs), nil
-		case query.MetricLatency:
-			return frac * ref.LatencyMS, nil
-		}
-	}
-	switch c.Unit {
-	case query.UnitMB:
-		return c.Value * (1 << 20), nil
-	case query.UnitGB:
-		return c.Value * (1 << 30), nil
-	case query.UnitGFLOPs:
-		return c.Value * 1e9, nil
-	case query.UnitTFLOPs:
-		return c.Value * 1e12, nil
-	case query.UnitMS, query.UnitNone:
-		return c.Value, nil
-	}
-	return 0, fmt.Errorf("sommelier: cannot resolve constraint %s", c)
-}
-
-// exactlySatisfies re-checks every constraint (including lower bounds and
-// strict inequalities) against a candidate profile.
-func exactlySatisfies(cs []query.Constraint, p, ref resource.Profile) bool {
-	for _, c := range cs {
-		limit, err := absoluteValue(c, ref)
-		if err != nil {
-			return false
-		}
-		var v float64
-		switch c.Metric {
-		case query.MetricMemory:
-			v = float64(p.MemoryBytes)
-		case query.MetricFLOPs:
-			v = float64(p.FLOPs)
-		case query.MetricLatency:
-			v = p.LatencyMS
-		}
-		switch c.Op {
-		case query.OpLT:
-			if !(v < limit) {
-				return false
-			}
-		case query.OpLE:
-			if !(v <= limit) {
-				return false
-			}
-		case query.OpGT:
-			if !(v > limit) {
-				return false
-			}
-		case query.OpGE:
-			if !(v >= limit) {
-				return false
-			}
-		case query.OpEQ:
-			// Equality on continuous profiles means "within 5%".
-			if v < limit*0.95 || v > limit*1.05 {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-func sortResults(rs []Result, pick query.PickKind) {
-	less := func(i, j int) bool { return rs[i].Level > rs[j].Level }
-	switch pick {
-	case query.PickSmallest:
-		less = func(i, j int) bool { return rs[i].Profile.MemoryBytes < rs[j].Profile.MemoryBytes }
-	case query.PickFastest:
-		less = func(i, j int) bool { return rs[i].Profile.LatencyMS < rs[j].Profile.LatencyMS }
-	case query.PickCheapest:
-		less = func(i, j int) bool { return rs[i].Profile.FLOPs < rs[j].Profile.FLOPs }
-	}
-	sort.SliceStable(rs, func(i, j int) bool {
-		if less(i, j) {
-			return true
-		}
-		if less(j, i) {
-			return false
-		}
-		return rs[i].ID < rs[j].ID // deterministic tie-break
-	})
-}
-
-// Materialize loads the concrete model for a result. Synthesized results
-// are built on demand by transplanting the donor segment (§5.2 lookup
-// case (ii)).
-func (e *Engine) Materialize(r Result) (*graph.Model, error) {
-	base, err := e.store.Load(r.ID)
-	if err != nil {
-		return nil, err
-	}
-	if !r.Synthesized {
-		return base, nil
-	}
-	donor, err := e.store.Load(r.DonorID)
-	if err != nil {
-		return nil, err
-	}
-	minLen := e.opts.SegmentMinLen
-	if minLen <= 0 {
-		minLen = 3
-	}
-	pairs, err := equiv.CommonSegments(base, donor, minLen)
-	if err != nil {
-		return nil, err
-	}
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("sommelier: synthesized segments no longer present between %q and %q",
-			r.ID, r.DonorID)
-	}
-	out := base
-	for _, p := range pairs {
-		p.A.Model = out
-		twin, err := equiv.SynthesizeReplacement(out, p)
-		if err != nil {
-			return nil, err
-		}
-		out = twin
-	}
-	return out, nil
-}
-
-// IndexMemoryBytes reports the two indexes' in-memory footprints
-// (semantic, resource) for the Table 4 experiment.
-func (e *Engine) IndexMemoryBytes() (semantic, res int64) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.sem.MemoryBytes(), e.res.MemoryBytes()
-}
-
-// TopEquivalents returns the reference's K best semantic candidates — the
-// primitive behind the DNN-testing case study and Figure 13.
-func (e *Engine) TopEquivalents(refID string, k int) ([]Result, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	cands, err := e.sem.TopK(refID, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Result, 0, len(cands))
-	for _, c := range cands {
-		prof, _ := e.res.Profile(c.ID)
-		out = append(out, Result{
-			ID: c.ID, Level: c.Level,
-			Synthesized: c.Kind == index.KindSynthesized,
-			DonorID:     c.DonorID, Segment: c.Segment,
-			Derived: c.Derived, Profile: prof,
-		})
-	}
-	return out, nil
 }
