@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet lint check bench
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,17 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# check is the CI gate: vet plus the race-detector test run.
-check: vet race
+# lint runs sommlint, the repo's own analyzer suite (see DESIGN.md
+# "Invariants and static enforcement"): lock-annotation discipline,
+# snapshot immutability, determinism, context plumbing, and sentinel
+# error comparison. Exit 1 means findings; use `-json` for tooling.
+lint:
+	$(GO) run ./cmd/sommlint ./...
+
+# check is the CI gate: vet, then sommlint, then the race-detector run.
+# lint sits before race because it is ~100x cheaper and catches the
+# invariant violations race can only hope to trip over.
+check: vet lint race
 
 # bench runs the Go micro-benchmarks, then the serial-vs-parallel
 # indexing benchmark, leaving its machine-readable result in

@@ -75,9 +75,9 @@ type Catalog struct {
 	sema chan struct{}
 
 	mu          sync.Mutex
-	sem         *index.SemanticIndex
-	res         *index.ResourceIndex
-	defaultRefs map[string]string
+	sem         *index.SemanticIndex // guarded by mu
+	res         *index.ResourceIndex // guarded by mu
+	defaultRefs map[string]string    // guarded by mu
 
 	snap atomic.Pointer[Snapshot]
 }

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInjectorScheduleReproducible complements TestInjectorDeterminism
+// (faults_test.go) by recording full schedules: two injectors built
+// from the same config must draw an identical 1k-fault schedule AND
+// finish with identical tallies, with every fault kind — including
+// Latency, which the other test's config never enables — exercised at
+// least once. If someone swaps the seeded source for a global or
+// time-derived one, the schedules diverge here long before a flaky
+// resilience test does.
+func TestInjectorScheduleReproducible(t *testing.T) {
+	cfg := Config{
+		Seed:            42,
+		ConnErrorRate:   0.15,
+		ServerErrorRate: 0.1,
+		LatencyRate:     0.05,
+		Latency:         time.Millisecond,
+		TruncateRate:    0.1,
+	}
+	const draws = 1000
+
+	schedule := func() ([]Kind, Counts) {
+		in, err := NewInjector(cfg)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		out := make([]Kind, draws)
+		for i := range out {
+			out[i] = in.Next()
+		}
+		return out, in.Counts()
+	}
+
+	a, aCounts := schedule()
+	b, bCounts := schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at draw %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if aCounts != bCounts {
+		t.Errorf("counts diverge: %+v vs %+v", aCounts, bCounts)
+	}
+	if aCounts.Operations != draws {
+		t.Errorf("Operations = %d, want %d", aCounts.Operations, draws)
+	}
+	// With these rates and 1k draws, every fault kind should have fired
+	// at least once — otherwise the schedule comparison proves little.
+	if aCounts.ConnErrors == 0 || aCounts.ServerErrors == 0 ||
+		aCounts.Latencies == 0 || aCounts.Truncations == 0 {
+		t.Errorf("some fault kind never fired in %d draws: %+v", draws, aCounts)
+	}
+}

@@ -103,8 +103,8 @@ type Injector struct {
 	cfg Config
 
 	mu     sync.Mutex
-	rng    *rand.Rand
-	counts Counts
+	rng    *rand.Rand // guarded by mu
+	counts Counts     // guarded by mu
 }
 
 // NewInjector validates the config and returns a seeded injector.

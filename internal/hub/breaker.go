@@ -32,11 +32,11 @@ type breaker struct {
 	now       func() time.Time // injectable for tests
 
 	mu          sync.Mutex
-	state       int
-	consecutive int
-	openedAt    time.Time
-	probing     bool
-	opens       int64
+	state       int       // guarded by mu
+	consecutive int       // guarded by mu
+	openedAt    time.Time // guarded by mu
+	probing     bool      // guarded by mu
+	opens       int64     // guarded by mu
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {

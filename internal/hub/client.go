@@ -110,8 +110,8 @@ type Client struct {
 	staleLoads, staleLists  atomic.Int64
 
 	mu       sync.Mutex
-	cache    *modelLRU
-	lastList []repo.Metadata
+	cache    *modelLRU       // guarded by mu
+	lastList []repo.Metadata // guarded by mu
 }
 
 // NewClient returns a client for a hub at baseURL (e.g.

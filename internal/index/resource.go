@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sommelier/internal/lsh"
 	"sommelier/internal/resource"
@@ -166,6 +167,9 @@ func exactCandidates(profiles map[string]resource.Profile, b Budget) []string {
 	for id := range profiles {
 		ids = append(ids, id)
 	}
+	// The scan collects IDs in map order; sort before filtering so the
+	// fallback path returns the same candidate order on every run.
+	sort.Strings(ids)
 	return filterByBudget(profiles, ids, b)
 }
 

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp enforces sentinel-error hygiene: package-level error values
+// (repo.ErrNotFound, hub.ErrCircuitOpen, index.ErrAlreadyIndexed, ...)
+// must be matched with errors.Is, never == or !=. Every sentinel in
+// this repo is returned wrapped (fmt.Errorf("...: %w", Err...)), so an
+// identity comparison is not just unidiomatic — it is wrong: it never
+// matches the wrapped error a caller actually receives.
+//
+// Comparisons against nil are untouched; so are comparisons between
+// two sentinels (a registry dispatching on identity compares the
+// values themselves, not a returned error).
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors must be compared with errors.Is, not == or !=",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isNilIdent(info, be.X) || isNilIdent(info, be.Y) {
+				return true
+			}
+			xs, ys := sentinelError(info, be.X), sentinelError(info, be.Y)
+			if xs != nil && ys != nil {
+				return true // sentinel-to-sentinel identity is deliberate
+			}
+			for _, s := range []*types.Var{xs, ys} {
+				if s != nil {
+					pass.Reportf(be.OpPos,
+						"%s compared with %s; sentinels are returned wrapped — use errors.Is(err, %s)",
+						s.Name(), be.Op, s.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelError returns the package-level error variable an expression
+// names, or nil.
+func sentinelError(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the repo's `// guarded by <mu>` annotation: a
+// struct field carrying the annotation may only be accessed in
+// functions that acquire that mutex on the same object.
+//
+// The check is intra-procedural and deliberately convention-shaped:
+//
+//   - Functions whose name ends in "Locked" are exempt — by repo
+//     convention their callers hold the lock (publishLocked,
+//     noteDefaultRefLocked).
+//   - Accesses through a variable declared inside the function body are
+//     exempt: a value a constructor is still building has not been
+//     published to other goroutines yet.
+//   - Acquisition is flow-insensitive: any <obj>.<mu>.Lock() or
+//     <obj>.<mu>.RLock() call in the function counts. Helper functions
+//     that take over a locked object are the "Locked" suffix's job.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated `// guarded by <mu>` must only be accessed under that mutex",
+	Run:  runLockCheck,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardAnnotation extracts the mutex name from a field's comments.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func runLockCheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect annotated fields, mapping the field's object to
+	// the guarding mutex field's name.
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(field.Pos(),
+						"`guarded by %s` names no field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Pass 2: for each function, record which (object, mutex) pairs are
+	// acquired, then flag guarded-field accesses with no acquisition.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedAccesses(pass, fd, guards)
+		}
+	}
+}
+
+func checkLockedAccesses(pass *Pass, fd *ast.FuncDecl, guards map[types.Object]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// acquired holds (base object, mutex field name) pairs for every
+	// `base.mu.Lock()` / `base.mu.RLock()` call in the function.
+	type acquisition struct {
+		obj types.Object
+		mu  string
+	}
+	acquired := make(map[acquisition]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := rootIdent(muSel.X)
+		if root == nil {
+			return true
+		}
+		if obj := objOf(info, root); obj != nil {
+			acquired[acquisition{obj, muSel.Sel.Name}] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := objOf(info, root)
+		if obj == nil || declaredWithin(obj, fd.Body) {
+			return true // a local the function built itself: unpublished
+		}
+		if !acquired[acquisition{obj, mu}] {
+			pass.Reportf(sel.Sel.Pos(),
+				"%s accesses %s.%s, which is guarded by %s.%s, without acquiring it",
+				funcScopeName(fd), root.Name, sel.Sel.Name, root.Name, mu)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+// Command mainprog is ctxcheck's negative control: package main is
+// where context roots belong, so Background/TODO are silent here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,22 @@
+// Package plain is detcheck's negative control: it is NOT a
+// determinism-critical package (its import-path leaf is not in the
+// set), so the very same patterns that are findings in detcheck/index
+// are silent here.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 { return time.Now().UnixNano() }
+
+func draw() int { return rand.Intn(5) }
+
+func order(set map[string]bool) []string {
+	var ids []string
+	for id := range set {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,8 @@
+// Package deps provides a cross-package sentinel for errcmp's golden
+// tests.
+package deps
+
+import "errors"
+
+// ErrGone is wrapped by callers; match it with errors.Is.
+var ErrGone = errors.New("gone")

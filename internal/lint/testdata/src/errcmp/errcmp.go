@@ -1,0 +1,50 @@
+// Package errcmp is errcmp's golden input: sentinel errors are
+// compared with errors.Is, never == or != — identity comparison can
+// never match the wrapped errors this repo actually returns.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+
+	"errcmp/deps"
+)
+
+// ErrStale is a local sentinel, wrapped on return like every sentinel
+// in the repo.
+var ErrStale = errors.New("stale")
+
+func load(id string) error {
+	if id == "" {
+		return fmt.Errorf("load %q: %w", id, ErrStale)
+	}
+	return nil
+}
+
+func badLocal(id string) bool {
+	err := load(id)
+	return err == ErrStale // want `ErrStale compared with ==`
+}
+
+func badImported(err error) bool {
+	if err != deps.ErrGone { // want `ErrGone compared with !=`
+		return false
+	}
+	return true
+}
+
+// goodIs is the sanctioned pattern — no finding.
+func goodIs(id string) bool {
+	return errors.Is(load(id), ErrStale)
+}
+
+// nilChecks are untouched — no finding.
+func nilChecks(id string) bool {
+	return load(id) == nil
+}
+
+// sentinelIdentity compares two sentinels to each other — a registry
+// dispatching on identity, not an error-path test. No finding.
+func sentinelIdentity() bool {
+	return ErrStale == deps.ErrGone
+}

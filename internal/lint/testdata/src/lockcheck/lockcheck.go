@@ -1,0 +1,78 @@
+// Package lockcheck is lockcheck's golden input: fields annotated
+// `// guarded by <mu>` must only be touched in functions that acquire
+// that mutex on the same object, with the repo's *Locked-suffix and
+// local-constructor conventions honoured.
+package lockcheck
+
+import "sync"
+
+type registry struct {
+	name string // unguarded: free to touch
+
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	order []string       // guarded by mu
+
+	statsMu sync.Mutex
+	hits    int64 // guarded by statsMu
+}
+
+type annotated struct {
+	mu    sync.Mutex
+	count int // guarded by missing; want `names no field of this struct`
+}
+
+// Get locks correctly — no finding.
+func (r *registry) Get(id string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.items[id]
+	return v, ok
+}
+
+// Put locks correctly with the write lock — no finding.
+func (r *registry) Put(id string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.items[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.items[id] = v
+}
+
+// Race touches guarded state with no lock at all.
+func (r *registry) Race(id string) int {
+	return r.items[id] // want `accesses r\.items, which is guarded by r\.mu`
+}
+
+// WrongLock holds statsMu but touches mu-guarded state.
+func (r *registry) WrongLock(id string) int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.hits++
+	return r.items[id] // want `accesses r\.items, which is guarded by r\.mu`
+}
+
+// WrongObject locks one registry and reads another.
+func (r *registry) WrongObject(other *registry) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(other.items) // want `accesses other\.items, which is guarded by other\.mu`
+}
+
+// lenLocked follows the *Locked convention: the caller holds the lock,
+// so no finding.
+func (r *registry) lenLocked() int {
+	return len(r.items)
+}
+
+// newRegistry builds an object nothing else can see yet; writing its
+// guarded fields without the lock is fine.
+func newRegistry() *registry {
+	r := &registry{}
+	r.items = make(map[string]int)
+	return r
+}
+
+// Name touches only unguarded state — no finding.
+func (r *registry) Name() string { return r.name }

@@ -1,0 +1,78 @@
+// Package catalog is a miniature stand-in for the real
+// sommelier/internal/catalog, letting snapcheck's golden tests resolve
+// a type named Snapshot at the expected import-path suffix without
+// loading the whole module. It also carries snapcheck's in-package
+// golden cases: rule 1 (no field stores) applies inside the catalog
+// package too, everywhere except the publishLocked commit path.
+package catalog
+
+// Candidate mirrors index.Candidate's shape.
+type Candidate struct {
+	ID    string
+	Level float64
+}
+
+// Snapshot mirrors the real immutable snapshot: unexported data
+// reachable only through accessor methods.
+type Snapshot struct {
+	ids  []string
+	refs map[string]string
+}
+
+// NewSnapshot builds a snapshot; the only legitimate construction is a
+// fresh composite literal, exactly like the real publishLocked.
+func NewSnapshot(ids []string, refs map[string]string) *Snapshot {
+	return &Snapshot{ids: ids, refs: refs}
+}
+
+// IDs returns a copy of the indexed IDs.
+func (s *Snapshot) IDs() []string { return append([]string(nil), s.ids...) }
+
+// Lookup returns candidates above the threshold.
+func (s *Snapshot) Lookup(ref string, threshold float64) ([]Candidate, error) {
+	var out []Candidate
+	for _, id := range s.ids {
+		if id != ref {
+			out = append(out, Candidate{ID: id, Level: threshold})
+		}
+	}
+	return out, nil
+}
+
+// Refs exposes the reference table (the real Snapshot exposes lookups
+// only; this exercises map-element stores through a method result).
+func (s *Snapshot) Refs() map[string]string { return s.refs }
+
+// holder is the write side owning the published snapshot.
+type holder struct {
+	snap *Snapshot
+}
+
+// badStore writes a map element through a Snapshot field outside the
+// commit path.
+func (s *Snapshot) badStore(id string) {
+	s.refs[id] = id // want `writes through catalog\.Snapshot data`
+}
+
+// badField rebinds a Snapshot field in place.
+func (s *Snapshot) badField(ids []string) {
+	s.ids = ids // want `writes through catalog\.Snapshot data`
+}
+
+// badElem writes a slice element through a Snapshot field.
+func (h *holder) badElem() {
+	h.snap.ids[0] = "overwritten" // want `writes through catalog\.Snapshot data`
+}
+
+// badAddr escapes a mutable reference to snapshot innards.
+func (h *holder) badAddr() *[]string {
+	return &h.snap.ids // want `takes the address of catalog\.Snapshot data`
+}
+
+// publishLocked is the commit path: building a fresh snapshot and
+// swapping it in is the one legitimate "mutation", so no finding here.
+func (h *holder) publishLocked(ids []string, refs map[string]string) {
+	next := &Snapshot{ids: ids, refs: refs}
+	next.refs["boot"] = "ref"
+	h.snap = next
+}

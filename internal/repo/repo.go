@@ -42,9 +42,9 @@ type Repository struct {
 	dir string // empty for in-memory repositories
 
 	mu     sync.RWMutex
-	meta   map[string]Metadata
-	models map[string]*graph.Model // cache; authoritative for in-memory mode
-	order  []string
+	meta   map[string]Metadata     // guarded by mu
+	models map[string]*graph.Model // guarded by mu; cache, authoritative for in-memory mode
+	order  []string                // guarded by mu
 }
 
 // NewInMemory returns a repository that keeps models in memory only.
