@@ -31,8 +31,10 @@ lint:
 check: vet lint race
 
 # bench runs the Go micro-benchmarks, then the serial-vs-parallel
-# indexing benchmark, leaving its machine-readable result in
-# BENCH_index.json.
+# indexing benchmark and the query-latency benchmark, leaving their
+# machine-readable results in BENCH_index.json and BENCH_query.json
+# (query percentiles come from the query_*_ms histograms).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/sommbench -exp indexbench -index-out BENCH_index.json
+	$(GO) run ./cmd/sommbench -exp querybench -query-out BENCH_query.json

@@ -5,17 +5,26 @@
 // the switching configurations to a fault model: failed switches fall
 // back to the previously deployed model and are reported per run.
 //
+// Percentiles come from the observability layer: each configuration's
+// latencies feed a serving_<policy>_latency_ms histogram and the table
+// reads the histogram summaries — the same numbers -metrics exports as
+// JSON and a hub serving a shared observer exposes at /v1/metrics.
+//
 //	servesim -requests 50000 -arrival 22 -burst-factor 8
 //	servesim -switch-fail 0.3            # re-examine Fig. 9(c) under faults
+//	servesim -metrics                    # dump the metrics snapshot as JSON
+//	servesim -trace                      # print the simulation span tree
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"sommelier/internal/obs"
 	"sommelier/internal/serving"
-	"sommelier/internal/stats"
 )
 
 func main() {
@@ -28,6 +37,8 @@ func main() {
 		switchStep  = flag.Int("switch-step", 4, "queue-length step between model downgrades")
 		switchFail  = flag.Float64("switch-fail", 0, "probability a model switch fails (falls back to the deployed model)")
 		seed        = flag.Uint64("seed", 1, "random seed")
+		metrics     = flag.Bool("metrics", false, "print the observability snapshot as JSON after the run")
+		trace       = flag.Bool("trace", false, "print the simulation span tree after the run")
 	)
 	flag.Parse()
 
@@ -48,10 +59,20 @@ func main() {
 		Seed:          *seed,
 	}
 	fm := serving.FailureModel{SwitchFailProb: *switchFail, Seed: *seed + 1}
-	cmp, err := serving.RunComparisonWithFailures(w, candidates, *switchStep, fm)
+
+	o := obs.New()
+	ctx, root := o.StartSpan(context.Background(), "servesim", "")
+	_, span := o.StartSpan(ctx, "comparison", fmt.Sprintf("%d requests", *requests))
+	cmp, err := serving.RunComparisonObserved(o, w, candidates, *switchStep, fm)
+	span.End()
+	root.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "servesim:", err)
 		os.Exit(1)
+	}
+	snap := o.Snapshot()
+	histFor := func(r serving.Result) obs.HistSummary {
+		return snap.Histograms["serving_"+serving.MetricName(r.PolicyName)+"_latency_ms"]
 	}
 
 	fmt.Printf("workload: %d requests, mean gap %.1fms, bursts x%.0f every %d", *requests, *arrival, *burstFactor, *burstEvery)
@@ -60,21 +81,32 @@ func main() {
 	}
 	fmt.Printf("\n\n")
 	fmt.Printf("%-22s %8s %8s %8s %8s %11s %9s  %s\n",
-		"CONFIGURATION", "P50", "P90", "P99", "MAX", "MEAN-LEVEL", "SW-FAIL", "MODEL SHARE")
+		"CONFIGURATION", "P50", "P95", "P99", "MAX", "MEAN-LEVEL", "SW-FAIL", "MODEL SHARE")
 	for _, r := range []serving.Result{cmp.Baseline, cmp.ScaleOut, cmp.Switching, cmp.Combined} {
-		s := r.Summary()
+		s := histFor(r)
 		rep := serving.Degradation(r)
 		fmt.Printf("%-22s %8.1f %8.1f %8.1f %8.1f %11.3f %4d/%-4d  %v\n",
-			r.PolicyName, s.P50, s.P90, s.P99, s.MaxV, r.MeanLevel,
+			r.PolicyName, s.P50, s.P95, s.P99, s.Max, r.MeanLevel,
 			rep.FailedSwitches, rep.SwitchAttempts, serving.SortedModelShare(r))
 	}
-	p90b := stats.Percentile(cmp.Baseline.Latencies, 90)
-	p90s := stats.Percentile(cmp.Switching.Latencies, 90)
-	p90o := stats.Percentile(cmp.ScaleOut.Latencies, 90)
-	fmt.Printf("\np90 reduction vs baseline: switching %.1fx, scale-out %.2fx\n", p90b/p90s, p90b/p90o)
+	p95b := histFor(cmp.Baseline).P95
+	p95s := histFor(cmp.Switching).P95
+	p95o := histFor(cmp.ScaleOut).P95
+	fmt.Printf("\np95 reduction vs baseline: switching %.1fx, scale-out %.2fx\n", p95b/p95s, p95b/p95o)
 	if *switchFail > 0 {
 		rep := serving.Degradation(cmp.Switching)
 		fmt.Printf("switching degraded gracefully: %d/%d switches failed (%.0f%%), requests kept serving on the deployed model\n",
 			rep.FailedSwitches, rep.SwitchAttempts, 100*rep.FailureShare)
+	}
+	if *metrics {
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "servesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", out)
+	}
+	if *trace {
+		fmt.Printf("\nspans:\n%s", o.Tracer().TreeString())
 	}
 }

@@ -10,15 +10,24 @@
 // Or run an interactive prompt:
 //
 //	sommelier -repo ./models -i
+//
+// The engine observes itself: -metrics prints the unified metrics
+// snapshot (indexing stage timings, query stage histograms, worker
+// occupancy) as JSON on exit, and -trace prints the recorded span tree.
+// A SIGINT during indexing cancels the worker pool mid-batch.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sommelier"
 	"sommelier/internal/dataset"
@@ -42,8 +51,13 @@ func main() {
 		hubTimeout  = flag.Duration("hub-timeout", hub.DefaultTimeout, "per-request hub timeout")
 		hubRetries  = flag.Int("hub-retries", hub.DefaultRetries, "retries for idempotent hub requests")
 		hubCacheCap = flag.Int("hub-cache", hub.DefaultCacheCap, "hub client model-cache cap (LRU entries, <=0 unbounded)")
+		metrics     = flag.Bool("metrics", false, "print the metrics snapshot as JSON on exit")
+		trace       = flag.Bool("trace", false, "print the recorded span tree on exit")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	store, err := openStore(*repoDir)
 	if err != nil {
@@ -68,16 +82,15 @@ func main() {
 		}
 		fmt.Printf("mirrored %d models from %s\n", n, *hubURL)
 	}
-	eng, err := sommelier.New(store, sommelier.Options{
-		Seed:     *seed,
-		Segments: *segments,
-	})
+	eng, err := sommelier.NewEngine(store,
+		sommelier.WithSeed(*seed),
+		sommelier.WithSegments(*segments))
 	if err != nil {
 		fatal(err)
 	}
 
 	if *seedDemo {
-		if err := seedDemoModels(eng, *seed); err != nil {
+		if err := seedDemoModels(ctx, eng, *seed); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("seeded %d demo models\n", store.Len())
@@ -95,7 +108,7 @@ func main() {
 		}
 		fmt.Printf("restored index snapshot from %s\n", *loadIndex)
 	}
-	if err := eng.IndexAll(); err != nil {
+	if err := eng.IndexAllContext(ctx); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("indexed %d models\n", eng.IndexedLen())
@@ -118,17 +131,33 @@ func main() {
 		for _, md := range store.List() {
 			fmt.Printf("%-28s task=%-16s series=%s\n", md.ID, md.Task, md.Series)
 		}
+		dumpObs(eng, *metrics, *trace)
 		return
 	}
 
 	if *queryStr != "" {
-		if err := runQuery(eng, *queryStr); err != nil {
+		if err := runQuery(ctx, eng, *queryStr); err != nil {
 			fatal(err)
 		}
 	}
 
 	if *interactive {
-		prompt(eng)
+		prompt(ctx, eng)
+	}
+	dumpObs(eng, *metrics, *trace)
+}
+
+// dumpObs prints the requested observability views on the way out.
+func dumpObs(eng *sommelier.Engine, metrics, trace bool) {
+	if metrics {
+		out, err := json.MarshalIndent(eng.Observer().Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmetrics:\n%s\n", out)
+	}
+	if trace {
+		fmt.Printf("\nspans:\n%s", eng.Observer().Tracer().TreeString())
 	}
 }
 
@@ -141,12 +170,12 @@ func openStore(dir string) (*repo.Repository, error) {
 
 // seedDemoModels publishes a base model, calibrated variants at several
 // equivalence levels, and one inflated large sibling.
-func seedDemoModels(eng *sommelier.Engine, seed uint64) error {
+func seedDemoModels(ctx context.Context, eng *sommelier.Engine, seed uint64) error {
 	base, err := zoo.DenseResidualNet(zoo.Config{Name: "demo-base", Seed: seed, Width: 32, Depth: 2})
 	if err != nil {
 		return err
 	}
-	if _, err := eng.Register(base); err != nil {
+	if _, err := eng.RegisterContext(ctx, base); err != nil {
 		return err
 	}
 	probes := dataset.RandomImages(300, base.InputShape, seed+1)
@@ -155,7 +184,7 @@ func seedDemoModels(eng *sommelier.Engine, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		if _, err := eng.Register(v); err != nil {
+		if _, err := eng.RegisterContext(ctx, v); err != nil {
 			return err
 		}
 	}
@@ -163,12 +192,12 @@ func seedDemoModels(eng *sommelier.Engine, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	_, err = eng.Register(big)
+	_, err = eng.RegisterContext(ctx, big)
 	return err
 }
 
-func runQuery(eng *sommelier.Engine, q string) error {
-	results, err := eng.Query(q)
+func runQuery(ctx context.Context, eng *sommelier.Engine, q string) error {
+	results, err := eng.QueryContext(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -192,8 +221,8 @@ func runQuery(eng *sommelier.Engine, q string) error {
 	return nil
 }
 
-func prompt(eng *sommelier.Engine) {
-	fmt.Println(`enter queries (e.g. SELECT CORR "demo-base@1" WITHIN 85% PICK most_similar), or "quit"`)
+func prompt(ctx context.Context, eng *sommelier.Engine) {
+	fmt.Println(`enter queries (e.g. SELECT CORR "demo-base@1" WITHIN 85% PICK most_similar), "explain <query>", or "quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("sommelier> ")
@@ -201,13 +230,21 @@ func prompt(eng *sommelier.Engine) {
 			return
 		}
 		linetxt := strings.TrimSpace(sc.Text())
-		switch linetxt {
-		case "":
+		switch {
+		case linetxt == "":
 			continue
-		case "quit", "exit":
+		case linetxt == "quit" || linetxt == "exit":
 			return
+		case strings.HasPrefix(linetxt, "explain "):
+			exp, err := eng.ExplainContext(ctx, strings.TrimPrefix(linetxt, "explain "))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Print(exp.String())
+			continue
 		}
-		if err := runQuery(eng, linetxt); err != nil {
+		if err := runQuery(ctx, eng, linetxt); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}

@@ -4,15 +4,23 @@
 //
 // The server is hardened for unattended operation: PUT bodies are
 // size-capped, /v1/healthz reports liveness, header reads are bounded,
-// and SIGINT/SIGTERM drain in-flight requests before exiting.
+// and SIGINT/SIGTERM drain in-flight requests before exiting — a signal
+// during the startup index cancels it mid-batch.
 //
 // With -index the hub maintains a Sommelier catalog of its own: the
-// repository is indexed at startup (fanned out across -index-workers)
-// and every accepted upload is indexed before the PUT is acknowledged.
+// repository is indexed at startup (fanned out across -index-workers),
+// every accepted upload is indexed before the PUT is acknowledged, and
+// GET /v1/query answers Sommelier queries over the catalog.
+//
+// The hub is observable end to end: GET /v1/metrics returns one JSON
+// snapshot unifying per-endpoint request counters and latency
+// percentiles with the engine's indexing and query metrics, and with
+// -trace GET /v1/tracez returns the recent index/query span ring.
 //
 //	sommhub -repo ./models -listen :8750 -seed-demo
-//	sommhub -repo ./models -index -index-workers 8
+//	sommhub -repo ./models -index -index-workers 8 -trace
 //	sommelier -hub http://localhost:8750 -query '...'
+//	curl localhost:8750/v1/metrics
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"sommelier"
 	"sommelier/internal/dataset"
 	"sommelier/internal/hub"
+	"sommelier/internal/obs"
 	"sommelier/internal/repo"
 	"sommelier/internal/zoo"
 )
@@ -43,6 +52,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 		doIndex      = flag.Bool("index", false, "maintain a Sommelier catalog: index existing models at startup and every accepted upload")
 		indexWorkers = flag.Int("index-workers", 0, "indexing concurrency (0 = GOMAXPROCS; needs -index)")
+		trace        = flag.Bool("trace", false, "record index/query spans and serve them at /v1/tracez")
 	)
 	flag.Parse()
 
@@ -61,19 +71,41 @@ func main() {
 		fmt.Printf("seeded %d demo models\n", store.Len())
 	}
 
-	opts := []hub.ServerOption{hub.WithMaxBodyBytes(*maxBodyMB << 20)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One observer spans the whole process: HTTP endpoint metrics, the
+	// engine's indexing/query metrics, and the span ring all land in the
+	// same /v1/metrics snapshot.
+	traceCap := 0
+	if *trace {
+		traceCap = obs.DefaultTraceCap
+	}
+	o := obs.New(obs.WithTraceCap(traceCap))
+
+	opts := []hub.ServerOption{
+		hub.WithMaxBodyBytes(*maxBodyMB << 20),
+		hub.WithServerObserver(o),
+	}
 	if *doIndex {
-		eng, err := sommelier.New(store, sommelier.Options{Seed: *seed, IndexWorkers: *indexWorkers})
+		eng, err := sommelier.NewEngine(store,
+			sommelier.WithSeed(*seed),
+			sommelier.WithIndexWorkers(*indexWorkers),
+			sommelier.WithObserver(o))
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		if err := eng.IndexAll(); err != nil {
+		if err := eng.IndexAllContext(ctx); err != nil {
 			fatal(fmt.Errorf("indexing repository: %w", err))
 		}
 		fmt.Printf("indexed %d models in %s (%d workers)\n",
 			eng.IndexedLen(), time.Since(start).Round(time.Millisecond), *indexWorkers)
-		opts = append(opts, hub.WithIndexer(eng))
+		opts = append(opts,
+			hub.WithIndexer(eng),
+			hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
+				return eng.QueryContext(ctx, q)
+			}))
 	}
 	srv, err := hub.NewServer(store, opts...)
 	if err != nil {
@@ -86,8 +118,6 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("sommhub serving %d models on %s\n", store.Len(), *listen)

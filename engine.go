@@ -5,6 +5,7 @@ import (
 
 	"sommelier/internal/catalog"
 	"sommelier/internal/graph"
+	"sommelier/internal/obs"
 	"sommelier/internal/repo"
 	"sommelier/internal/resource"
 )
@@ -25,36 +26,54 @@ type Store interface {
 // model repository) and a catalog.Catalog (the index state). It is
 // safe for concurrent use; queries never block on registration.
 type Engine struct {
-	opts  Options
+	cfg   engineConfig
 	store Store
 	cat   *catalog.Catalog
+	obs   *obs.Observer
 }
 
-// New creates an engine over an existing repository. Models already in
-// the repository are NOT indexed automatically; call IndexAll or Register.
-func New(store Store, opts Options) (*Engine, error) {
+// NewEngine creates an engine over an existing repository, configured
+// by functional options (WithSeed, WithIndexWorkers, WithObserver, …).
+// Models already in the repository are NOT indexed automatically; call
+// IndexAllContext or RegisterContext.
+func NewEngine(store Store, opts ...Option) (*Engine, error) {
 	if store == nil {
 		return nil, fmt.Errorf("sommelier: nil repository")
 	}
+	var cfg engineConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.obs == nil {
+		// Metrics are always on: the observer is the API every perf
+		// claim in this repo reports through.
+		cfg.obs = obs.New()
+	}
+	cfg.cat.Observer = cfg.obs
 	return &Engine{
-		opts:  opts,
+		cfg:   cfg,
 		store: store,
-		cat: catalog.New(catalog.Config{
-			Seed:             opts.Seed,
-			SampleSize:       opts.SampleSize,
-			Workers:          opts.IndexWorkers,
-			ValidationSize:   opts.ValidationSize,
-			Bound:            opts.Bound,
-			Segments:         opts.Segments,
-			SegmentMinLen:    opts.SegmentMinLen,
-			CustomValidation: opts.CustomValidation,
-			LatencyTable:     opts.LatencyTable,
-		}),
+		obs:   cfg.obs,
+		cat:   catalog.New(cfg.cat),
 	}, nil
+}
+
+// New creates an engine from the legacy flat Options struct.
+//
+// Deprecated: use NewEngine with functional options; this constructor
+// is kept as a compatibility shim at the root package boundary and
+// accepts no new knobs.
+func New(store Store, opts Options) (*Engine, error) {
+	return NewEngine(store, opts.options()...)
 }
 
 // Store returns the underlying repository.
 func (e *Engine) Store() Store { return e.store }
+
+// Observer returns the engine's observability handle — never nil. Its
+// Snapshot carries the catalog and query metrics; its Tracer holds
+// recent index/query spans.
+func (e *Engine) Observer() *obs.Observer { return e.obs }
 
 // IndexedLen returns the number of indexed models.
 func (e *Engine) IndexedLen() int { return e.cat.Snapshot().Len() }

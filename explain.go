@@ -1,11 +1,20 @@
 package sommelier
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"sommelier/internal/query"
 )
+
+// StageTiming is one pipeline stage's measured duration, as recorded by
+// the engine's tracer. Under a deterministic clock (obs.TickClock) the
+// values are reproducible run to run.
+type StageTiming struct {
+	Stage  string  `json:"stage"`
+	Millis float64 `json:"ms"`
+}
 
 // Explanation reports what each stage of the §5.4 filter pipeline did for
 // one query — the introspection behind the paper's framing of Sommelier
@@ -26,6 +35,9 @@ type Explanation struct {
 	Returned int
 	// Results carries the final results for convenience.
 	Results []Result
+	// Stages holds the per-stage query span durations (parse,
+	// candidates, filter, rank) in execution order.
+	Stages []StageTiming
 }
 
 // String renders a human-readable explanation.
@@ -53,16 +65,31 @@ func (e *Explanation) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "stage 3 (selection): %d returned\n", e.Returned)
+	if len(e.Stages) > 0 {
+		b.WriteString("timings:\n")
+		for _, s := range e.Stages {
+			fmt.Fprintf(&b, "  %s: %.3fms\n", s.Stage, s.Millis)
+		}
+	}
 	return b.String()
 }
 
-// Explain runs the query while recording per-stage filtering decisions.
-// It returns the same results Query would, plus the explanation. Like
-// QueryAST, every stage reads one catalog snapshot, so the counts add
-// up even under concurrent registration.
-func (e *Engine) Explain(q string) (*Explanation, error) {
+// ExplainContext runs the query while recording per-stage filtering
+// decisions and per-stage span durations. It returns the same results
+// Query would, plus the explanation. Like QueryASTContext, every stage
+// reads one catalog snapshot, so the counts add up even under
+// concurrent registration.
+func (e *Engine) ExplainContext(ctx context.Context, q string) (*Explanation, error) {
+	ctx, root := e.obs.StartSpan(ctx, "explain", "")
+	defer func() { e.obs.Histogram("query_total_ms").Observe(root.End()) }()
+	e.obs.Counter("queries_total").Inc()
+
+	_, span := e.obs.StartSpan(ctx, "parse", "")
 	ast, err := query.Parse(q)
+	parseMS := span.End()
+	e.obs.Histogram("query_parse_ms").Observe(parseMS)
 	if err != nil {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 	snap := e.cat.Snapshot()
@@ -84,6 +111,7 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 		Query:            ast.String(),
 		Reference:        refID,
 		ResourceRejected: make(map[string]int),
+		Stages:           []StageTiming{{Stage: "parse", Millis: parseMS}},
 	}
 	// Seed every constraint so zero-rejection constraints still appear
 	// in the report (distinct from "no constraints at all").
@@ -91,11 +119,16 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 		exp.ResourceRejected[con.String()] = 0
 	}
 
+	_, span = e.obs.StartSpan(ctx, "candidates", "")
 	all, err := snap.Lookup(refID, 0)
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	cands, err := snap.Lookup(refID, ast.Threshold)
+	candMS := span.End()
+	e.obs.Histogram("query_candidates_ms").Observe(candMS)
+	exp.Stages = append(exp.Stages, StageTiming{Stage: "candidates", Millis: candMS})
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +139,7 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, span = e.obs.StartSpan(ctx, "filter", "")
 	var results []Result
 	for _, c := range cands {
 		pid := candProfileID(c)
@@ -113,9 +147,11 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 		if reprofile {
 			m, err := e.store.Load(pid)
 			if err != nil {
+				span.End()
 				return nil, err
 			}
 			if prof, err = e.cat.Profiler().MeasureWith(m, setting); err != nil {
+				span.End()
 				return nil, err
 			}
 			ok = true
@@ -140,11 +176,27 @@ func (e *Engine) Explain(q string) (*Explanation, error) {
 			Derived: c.Derived, Profile: prof,
 		})
 	}
+	filterMS := span.End()
+	e.obs.Histogram("query_filter_ms").Observe(filterMS)
+	exp.Stages = append(exp.Stages, StageTiming{Stage: "filter", Millis: filterMS})
+
+	_, span = e.obs.StartSpan(ctx, "rank", "")
 	sortResults(results, ast.Pick)
 	if ast.Limit > 0 && len(results) > ast.Limit {
 		results = results[:ast.Limit]
 	}
+	rankMS := span.End()
+	e.obs.Histogram("query_rank_ms").Observe(rankMS)
+	exp.Stages = append(exp.Stages, StageTiming{Stage: "rank", Millis: rankMS})
 	exp.Returned = len(results)
 	exp.Results = results
 	return exp, nil
+}
+
+// Explain runs the query with per-stage introspection, without a
+// context.
+//
+// Deprecated: use ExplainContext.
+func (e *Engine) Explain(q string) (*Explanation, error) {
+	return e.ExplainContext(context.Background(), q)
 }

@@ -18,6 +18,7 @@ import (
 	"sommelier/internal/equiv"
 	"sommelier/internal/graph"
 	"sommelier/internal/index"
+	"sommelier/internal/obs"
 	"sommelier/internal/resource"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	// Analyzer overrides the pairwise analyzer; nil selects the real
 	// equiv-backed analyzer. Tests inject failing or counting stubs.
 	Analyzer index.Analyzer
+	// Observer receives per-stage pipeline timings, spans, and worker
+	// occupancy. Nil disables instrumentation. The catalog never reads
+	// the wall clock itself (detcheck); all timing flows through the
+	// observer's injected clock, so a deterministic clock keeps traces
+	// reproducible.
+	Observer *obs.Observer
 }
 
 func (c Config) validationSize() int {
@@ -70,6 +77,7 @@ type Catalog struct {
 	cfg      Config
 	profiler *resource.Profiler
 	analyzer index.Analyzer
+	obs      *obs.Observer
 	// sema bounds concurrent analysis/profiling work across all
 	// indexing calls on this catalog.
 	sema chan struct{}
@@ -86,6 +94,7 @@ type Catalog struct {
 func New(cfg Config) *Catalog {
 	c := &Catalog{
 		cfg:         cfg,
+		obs:         cfg.Observer,
 		profiler:    resource.NewProfiler(cfg.LatencyTable),
 		sema:        make(chan struct{}, cfg.workers()),
 		sem:         index.NewSemanticIndex(cfg.Seed + 1),
@@ -99,10 +108,35 @@ func New(cfg Config) *Catalog {
 	if c.analyzer == nil {
 		c.analyzer = newPairAnalyzer(cfg)
 	}
+	c.registerGauges()
 	c.mu.Lock()
 	c.publishLocked()
 	c.mu.Unlock()
 	return c
+}
+
+// registerGauges folds the index sizes into the unified snapshot as
+// snapshot-time callbacks — no write-path bookkeeping, the gauges read
+// the live structures under the writer lock when asked.
+func (c *Catalog) registerGauges() {
+	reg := c.obs.Registry()
+	if reg == nil {
+		return
+	}
+	semStat := func() index.Stats {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.sem.Stats()
+	}
+	reg.GaugeFunc("catalog_semantic_models", func() int64 { return int64(semStat().Models) })
+	reg.GaugeFunc("catalog_semantic_candidates", func() int64 { return int64(semStat().Candidates) })
+	reg.GaugeFunc("catalog_semantic_derived", func() int64 { return int64(semStat().Derived) })
+	reg.GaugeFunc("catalog_semantic_synthesized", func() int64 { return int64(semStat().Synthesized) })
+	reg.GaugeFunc("catalog_resource_profiles", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.res.Len())
+	})
 }
 
 // Profiler returns the catalog's resource profiler (safe for concurrent

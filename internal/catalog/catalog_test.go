@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -32,10 +33,10 @@ func TestAnnotateAtomic(t *testing.T) {
 	c := New(Config{Seed: 1, Analyzer: silentAnalyzer{}})
 	a := testModel(t, "a", 1)
 	b := testModel(t, "b", 2)
-	if err := c.Index(a.ID, a.Model); err != nil {
+	if err := c.Index(context.Background(), a.ID, a.Model); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Index(b.ID, b.Model); err != nil {
+	if err := c.Index(context.Background(), b.ID, b.Model); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,7 +77,7 @@ func TestAnnotateAtomic(t *testing.T) {
 func TestSnapshotIsolation(t *testing.T) {
 	c := New(Config{Seed: 2, Analyzer: silentAnalyzer{}})
 	a := testModel(t, "iso-a", 3)
-	if err := c.Index(a.ID, a.Model); err != nil {
+	if err := c.Index(context.Background(), a.ID, a.Model); err != nil {
 		t.Fatal(err)
 	}
 	old := c.Snapshot()
@@ -85,7 +86,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 
 	b := testModel(t, "iso-b", 4)
-	if err := c.Index(b.ID, b.Model); err != nil {
+	if err := c.Index(context.Background(), b.ID, b.Model); err != nil {
 		t.Fatal(err)
 	}
 	// The old snapshot is immutable: the new commit must not leak into it.
@@ -104,11 +105,11 @@ func TestSnapshotIsolation(t *testing.T) {
 func TestIndexBatchSkipsDuplicates(t *testing.T) {
 	c := New(Config{Seed: 3, Analyzer: silentAnalyzer{}})
 	a := testModel(t, "dup-a", 5)
-	if err := c.Index(a.ID, a.Model); err != nil {
+	if err := c.Index(context.Background(), a.ID, a.Model); err != nil {
 		t.Fatal(err)
 	}
 	b := testModel(t, "dup-b", 6)
-	n, err := c.IndexBatch([]index.Entry{*a, *b, *b})
+	n, err := c.IndexBatch(context.Background(), []index.Entry{*a, *b, *b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestIndexBatchDeterministicAcrossWorkers(t *testing.T) {
 
 	build := func(workers int) *Catalog {
 		c := New(Config{Seed: 7, Workers: workers, ValidationSize: 40})
-		if _, err := c.IndexBatch(entries); err != nil {
+		if _, err := c.IndexBatch(context.Background(), entries); err != nil {
 			t.Fatal(err)
 		}
 		return c
@@ -159,7 +160,7 @@ func TestIndexBatchDeterministicAcrossWorkers(t *testing.T) {
 	// Serial Index calls must also match the batch path exactly.
 	c := New(Config{Seed: 7, Workers: 1, ValidationSize: 40})
 	for _, e := range entries {
-		if err := c.Index(e.ID, e.Model); err != nil {
+		if err := c.Index(context.Background(), e.ID, e.Model); err != nil {
 			t.Fatal(err)
 		}
 	}

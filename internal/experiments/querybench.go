@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"sommelier"
+	"sommelier/internal/obs"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// QueryBenchConfig scales the query-latency benchmark: a synthesized
+// catalog is indexed once, then a batch of Figure 7 queries runs
+// through the instrumented query path and the per-stage latency
+// percentiles are read back from the engine's histograms.
+type QueryBenchConfig struct {
+	// Series/PerSeries/Trunks shape the synthesized catalog.
+	Series    int
+	PerSeries int
+	Trunks    int
+	// Queries is the number of queries executed per query shape.
+	Queries int
+	// ValidationSize is the probe dataset size per shape.
+	ValidationSize int
+	Seed           uint64
+}
+
+// DefaultQueryBenchConfig queries a 24-model catalog 50 times per
+// query shape.
+func DefaultQueryBenchConfig() QueryBenchConfig {
+	return QueryBenchConfig{Series: 6, PerSeries: 4, Trunks: 3, Queries: 50, ValidationSize: 200, Seed: 2022}
+}
+
+// StageLatency is one query stage's latency digest, drawn from the
+// corresponding query_*_ms histogram.
+type StageLatency struct {
+	Stage string  `json:"stage"`
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// QueryBenchResult reports end-to-end and per-stage query latency
+// percentiles. The JSON form is what `make bench` writes to
+// BENCH_query.json.
+type QueryBenchResult struct {
+	Models  int            `json:"models"`
+	Queries int            `json:"queries"`
+	Errors  int64          `json:"query_errors"`
+	Total   StageLatency   `json:"total"`
+	Stages  []StageLatency `json:"stages"`
+}
+
+// queryStages maps histogram names to report labels, total first.
+var queryStages = []struct{ metric, label string }{
+	{"query_total_ms", "total"},
+	{"query_parse_ms", "parse"},
+	{"query_candidates_ms", "candidates"},
+	{"query_filter_ms", "filter"},
+	{"query_rank_ms", "rank"},
+}
+
+// RunQueryBench synthesizes and indexes a zoo catalog, then drives
+// cfg.Queries repetitions of each query shape (similarity-only,
+// resource-constrained, segment-pick) through QueryContext. All
+// timings come from the observability layer: the result's percentiles
+// are exactly the query_*_ms histogram summaries a live daemon exports
+// at /v1/metrics, so the benchmark measures the instrumented path the
+// paper's latency claims ride on.
+func RunQueryBench(ctx context.Context, cfg QueryBenchConfig) (*QueryBenchResult, error) {
+	if cfg.Series <= 0 {
+		cfg = DefaultQueryBenchConfig()
+	}
+	series, err := zoo.Catalog(zoo.CatalogConfig{
+		NumSeries:    cfg.Series,
+		MinPerSeries: cfg.PerSeries,
+		MaxPerSeries: cfg.PerSeries,
+		NumTrunks:    cfg.Trunks,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store := repo.NewInMemory()
+	var refID string
+	for _, s := range series {
+		for _, m := range s.Models {
+			id, err := store.Publish(m)
+			if err != nil {
+				return nil, err
+			}
+			if refID == "" {
+				refID = id
+			}
+		}
+	}
+	o := obs.New()
+	eng, err := sommelier.NewEngine(store,
+		sommelier.WithSeed(cfg.Seed),
+		sommelier.WithValidationSize(cfg.ValidationSize),
+		sommelier.WithObserver(o))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.IndexAllContext(ctx); err != nil {
+		return nil, err
+	}
+
+	queries := []string{
+		fmt.Sprintf("SELECT CORR %q WITHIN 85%% PICK most_similar", refID),
+		fmt.Sprintf("SELECT CORR %q WITHIN 85%% ON memory <= 120%% PICK smallest", refID),
+		fmt.Sprintf("SELECT CORR %q WITHIN 90%% ON flops <= 150%% PICK most_similar", refID),
+	}
+	executed := 0
+	for i := 0; i < cfg.Queries; i++ {
+		for _, q := range queries {
+			// Empty result sets are fine — only hard errors abort the
+			// benchmark; soft per-query errors land in query_errors_total.
+			if _, err := eng.QueryContext(ctx, q); err != nil {
+				return nil, fmt.Errorf("query %q: %w", q, err)
+			}
+			executed++
+		}
+	}
+
+	snap := o.Snapshot()
+	res := &QueryBenchResult{
+		Models:  eng.IndexedLen(),
+		Queries: executed,
+		Errors:  snap.Counters["query_errors_total"],
+	}
+	for _, st := range queryStages {
+		h := snap.Histograms[st.metric]
+		sl := StageLatency{
+			Stage: st.label,
+			Count: h.Count,
+			P50:   h.P50,
+			P95:   h.P95,
+			P99:   h.P99,
+			Max:   h.Max,
+		}
+		if st.label == "total" {
+			res.Total = sl
+		} else {
+			res.Stages = append(res.Stages, sl)
+		}
+	}
+	return res, nil
+}
+
+// Report renders the paper-style summary block.
+func (r *QueryBenchResult) Report() Report {
+	rep := Report{
+		ID:    "querybench",
+		Title: "query latency percentiles from the observability histograms",
+	}
+	rep.Lines = append(rep.Lines,
+		line("models indexed:  %d", r.Models),
+		line("queries run:     %d  (%d errors)", r.Queries, r.Errors),
+		line("%-12s %8s %8s %8s %8s", "STAGE", "P50", "P95", "P99", "MAX"),
+		line("%-12s %7.3fms %7.3fms %7.3fms %7.3fms",
+			r.Total.Stage, r.Total.P50, r.Total.P95, r.Total.P99, r.Total.Max),
+	)
+	for _, s := range r.Stages {
+		rep.Lines = append(rep.Lines,
+			line("%-12s %7.3fms %7.3fms %7.3fms %7.3fms", s.Stage, s.P50, s.P95, s.P99, s.Max))
+	}
+	return rep
+}

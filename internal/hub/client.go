@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sommelier/internal/graph"
+	"sommelier/internal/obs"
 	"sommelier/internal/repo"
 )
 
@@ -67,6 +68,16 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 // n <= 0 means unbounded.
 func WithCacheCap(n int) Option { return func(c *Client) { c.cacheCap = n } }
 
+// WithObserver attaches an observability handle. The client times each
+// operation into hub_client_<op>_ms histograms (op in publish, load,
+// list, delete), counts failures in hub_client_<op>_errors_total, and
+// publishes its resilience state — retries, stale reads, breaker
+// state/opens, cache population — as gauges evaluated at snapshot time,
+// so Client.Stats and the observer's Snapshot always agree. Sharing one
+// observer between the client, the engine, and a hub server yields a
+// single unified snapshot.
+func WithObserver(o *obs.Observer) Option { return func(c *Client) { c.obs = o } }
+
 // Stats reports the client's resilience counters.
 type Stats struct {
 	// Retries is the total number of re-attempts performed.
@@ -106,6 +117,7 @@ type Client struct {
 	breakerCooldown         time.Duration
 	cacheCap                int
 	breaker                 *breaker
+	obs                     *obs.Observer
 	retryCount              atomic.Int64
 	staleLoads, staleLists  atomic.Int64
 
@@ -147,7 +159,47 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...Option) (*Client
 	}
 	c.breaker = newBreaker(c.breakerThreshold, c.breakerCooldown)
 	c.cache = newModelLRU(c.cacheCap)
+	c.registerGauges()
 	return c, nil
+}
+
+// registerGauges exports the resilience counters as snapshot-time
+// gauges, so Stats and the unified obs.Snapshot report the same
+// numbers without double bookkeeping. Breaker state is encoded as
+// 0=closed, 1=open, 2=half-open (the breaker's own constants).
+func (c *Client) registerGauges() {
+	if c.obs == nil {
+		return
+	}
+	reg := c.obs.Registry()
+	reg.GaugeFunc("hub_client_retries", c.retryCount.Load)
+	reg.GaugeFunc("hub_client_stale_loads", c.staleLoads.Load)
+	reg.GaugeFunc("hub_client_stale_lists", c.staleLists.Load)
+	reg.GaugeFunc("hub_client_cached_models", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.cache.len())
+	})
+	reg.GaugeFunc("hub_client_breaker_state", func() int64 {
+		state, _ := c.breaker.snapshot()
+		return int64(state)
+	})
+	reg.GaugeFunc("hub_client_breaker_opens", func() int64 {
+		_, opens := c.breaker.snapshot()
+		return opens
+	})
+}
+
+// timeOp returns a stop function recording the operation's latency and
+// outcome. Call the result with the operation's error.
+func (c *Client) timeOp(op string) func(error) {
+	stop := c.obs.Time("hub_client_" + op + "_ms")
+	return func(err error) {
+		stop()
+		if err != nil {
+			c.obs.Counter("hub_client_" + op + "_errors_total").Inc()
+		}
+	}
 }
 
 // Stats returns a snapshot of the resilience counters.
@@ -267,7 +319,9 @@ func expectStatus(resp *http.Response, want int) error {
 
 // Publish uploads a model and returns its hub ID. Publishes are not
 // retried — PUT against a bare-bone hub is not guaranteed idempotent.
-func (c *Client) Publish(m *graph.Model) (string, error) {
+func (c *Client) Publish(m *graph.Model) (_ string, err error) {
+	done := c.timeOp("publish")
+	defer func() { done(err) }()
 	if err := m.Validate(); err != nil {
 		return "", fmt.Errorf("hub: refusing invalid model: %w", err)
 	}
@@ -277,7 +331,7 @@ func (c *Client) Publish(m *graph.Model) (string, error) {
 		return "", fmt.Errorf("hub: encoding: %w", err)
 	}
 	data := buf.Bytes()
-	err := c.do(false,
+	err = c.do(false,
 		func() (*http.Request, error) {
 			req, err := http.NewRequest(http.MethodPut, c.modelURL(id), bytes.NewReader(data))
 			if err != nil {
@@ -300,7 +354,9 @@ func (c *Client) Publish(m *graph.Model) (string, error) {
 // When the hub is down, previously fetched models keep loading from
 // cache (counted as stale in Stats while the breaker is not closed);
 // unseen models fail fast with ErrCircuitOpen once the breaker trips.
-func (c *Client) Load(id string) (*graph.Model, error) {
+func (c *Client) Load(id string) (_ *graph.Model, err error) {
+	done := c.timeOp("load")
+	defer func() { done(err) }()
 	c.mu.Lock()
 	m, ok := c.cache.get(id)
 	c.mu.Unlock()
@@ -310,7 +366,7 @@ func (c *Client) Load(id string) (*graph.Model, error) {
 		}
 		return m, nil
 	}
-	err := c.do(true, buildGet(c.modelURL(id)), func(resp *http.Response) error {
+	err = c.do(true, buildGet(c.modelURL(id)), func(resp *http.Response) error {
 		if err := expectStatus(resp, http.StatusOK); err != nil {
 			return err
 		}
@@ -331,9 +387,11 @@ func (c *Client) Load(id string) (*graph.Model, error) {
 // (transport/5xx failure after retries, or open breaker) and a previous
 // List succeeded, the last-known-good snapshot is returned instead and
 // counted as stale in Stats.
-func (c *Client) List() ([]repo.Metadata, error) {
+func (c *Client) List() (_ []repo.Metadata, err error) {
+	done := c.timeOp("list")
+	defer func() { done(err) }()
 	var out []repo.Metadata
-	err := c.do(true, buildGet(c.base+"/v1/models"), func(resp *http.Response) error {
+	err = c.do(true, buildGet(c.base+"/v1/models"), func(resp *http.Response) error {
 		if err := expectStatus(resp, http.StatusOK); err != nil {
 			return err
 		}
@@ -370,8 +428,10 @@ func (c *Client) List() ([]repo.Metadata, error) {
 
 // Delete removes a model from the hub and the local cache. Deletes are
 // not retried.
-func (c *Client) Delete(id string) error {
-	err := c.do(false,
+func (c *Client) Delete(id string) (err error) {
+	done := c.timeOp("delete")
+	defer func() { done(err) }()
+	err = c.do(false,
 		func() (*http.Request, error) { return http.NewRequest(http.MethodDelete, c.modelURL(id), nil) },
 		func(resp *http.Response) error { return expectStatus(resp, http.StatusNoContent) })
 	if err != nil {

@@ -12,10 +12,14 @@
 //	GET  /v1/models/{id}       — fetch one model (SOMX)
 //	PUT  /v1/models/{id}       — publish a model (SOMX body)
 //	DELETE /v1/models/{id}     — remove a model
+//	GET  /v1/query?q=…         — run a Sommelier query (JSON; needs WithQuerier)
+//	GET  /v1/metrics           — observability snapshot (JSON; needs WithObserver)
+//	GET  /v1/tracez            — recent spans, oldest first (JSON; needs WithObserver)
 //	GET  /v1/healthz           — liveness + model count (JSON)
 package hub
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"sommelier/internal/graph"
+	"sommelier/internal/obs"
 	"sommelier/internal/repo"
 )
 
@@ -39,13 +44,20 @@ type Store interface {
 
 // Indexer receives accepted uploads so the serving catalog stays
 // current — the curated-hub mode where Sommelier indexes models as they
-// arrive instead of in offline batches. An Indexer must treat an
-// already indexed ID as success, not an error (re-publishing a version
-// is legal hub behaviour). *sommelier.Engine satisfies it via
-// IndexModel.
+// arrive instead of in offline batches. The ctx is the upload request's
+// context: a client that gives up mid-upload cancels the pairwise
+// analysis too. An Indexer must treat an already indexed ID as success,
+// not an error (re-publishing a version is legal hub behaviour).
+// *sommelier.Engine satisfies it via IndexModel.
 type Indexer interface {
-	IndexModel(id string, m *graph.Model) error
+	IndexModel(ctx context.Context, id string, m *graph.Model) error
 }
+
+// Querier answers query strings for the /v1/query endpoint. The result
+// is marshaled to JSON as-is. *sommelier.Engine's QueryContext fits
+// after a one-line adaptation (see cmd/sommhub); the indirection keeps
+// this package free of an upward dependency on the root engine.
+type Querier func(ctx context.Context, q string) (any, error)
 
 // DefaultMaxBodyBytes caps PUT bodies; a bare-bone hub should not be
 // taken down by one oversized (or unbounded) upload.
@@ -71,12 +83,30 @@ func WithIndexer(ix Indexer) ServerOption {
 	return func(s *Server) { s.indexer = ix }
 }
 
+// WithQuerier enables GET /v1/query, answering query strings through q.
+func WithQuerier(q Querier) ServerOption {
+	return func(s *Server) { s.querier = q }
+}
+
+// WithServerObserver attaches an observability handle: every endpoint
+// records a request counter and latency histogram through it
+// (hub_<op>_requests_total / hub_<op>_errors_total / hub_<op>_ms, for
+// op in list, fetch, upload, delete, query, healthz), and the snapshot
+// is served at /v1/metrics with recent spans at /v1/tracez. Pass the
+// same observer the engine uses and /v1/metrics becomes the one unified
+// snapshot — hub, catalog, and query metrics together.
+func WithServerObserver(o *obs.Observer) ServerOption {
+	return func(s *Server) { s.obs = o }
+}
+
 // Server serves a repository over HTTP.
 type Server struct {
 	store   Store
 	mux     *http.ServeMux
 	maxBody int64
 	indexer Indexer
+	querier Querier
+	obs     *obs.Observer
 }
 
 // NewServer wraps a repository.
@@ -88,15 +118,47 @@ func NewServer(store Store, opts ...ServerOption) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("/v1/models", s.handleList)
+	s.mux.HandleFunc("/v1/models", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/query", s.instrument("query", s.handleQuery))
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/tracez", s.handleTracez)
+	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter remembers the status code a handler sent so instrument
+// can count errors without re-deriving them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request counter,
+// error counter, latency histogram, and a span named after the
+// operation. With no observer configured every obs call is a nil-safe
+// no-op, so the wrapper costs nothing.
+func (s *Server) instrument(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.obs.Counter("hub_" + op + "_requests_total").Inc()
+		ctx, span := s.obs.StartSpan(r.Context(), "hub."+op, "")
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.obs.Histogram("hub_" + op + "_ms").Observe(span.End())
+		if sw.status >= 400 {
+			s.obs.Counter("hub_" + op + "_errors_total").Inc()
+		}
+	}
 }
 
 // metaJSON is the wire form of repo.Metadata.
@@ -139,7 +201,71 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.obs.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	spans := s.obs.Tracer().Recent()
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.querier == nil {
+		http.Error(w, "query endpoint not enabled on this hub", http.StatusNotImplemented)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	res, err := s.querier(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]any{"query": q, "results": res}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	op := "fetch"
+	switch r.Method {
+	case http.MethodPut:
+		op = "upload"
+	case http.MethodDelete:
+		op = "delete"
+	}
+	s.instrument(op, s.serveModel)(w, r)
+}
+
+func (s *Server) serveModel(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/models/")
 	if id == "" {
 		http.Error(w, "missing model id", http.StatusBadRequest)
@@ -190,7 +316,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if s.indexer != nil {
-			if err := s.indexer.IndexModel(id, m); err != nil {
+			if err := s.indexer.IndexModel(r.Context(), id, m); err != nil {
 				// Keep the hub consistent with the catalog: drop the
 				// model this PUT created. A pre-existing version stays —
 				// deleting it would destroy data the uploader didn't

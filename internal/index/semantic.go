@@ -115,6 +115,34 @@ func NewSemanticIndex(seed uint64) *SemanticIndex {
 // Len returns the number of indexed models.
 func (s *SemanticIndex) Len() int { return len(s.entries) }
 
+// Stats is the semantic index's size digest: how many models are
+// indexed and how the candidate edges among them break down. The
+// catalog folds it into the unified metrics snapshot as gauges.
+type Stats struct {
+	Models      int // indexed models
+	Candidates  int // candidate edges across all models
+	Derived     int // edges whose level was derived transitively
+	Synthesized int // segment-synthesized candidate edges
+}
+
+// Stats walks the index and counts. Callers synchronize as for any
+// other read.
+func (s *SemanticIndex) Stats() Stats {
+	st := Stats{Models: len(s.entries)}
+	for _, e := range s.entries {
+		st.Candidates += len(e.candidates)
+		for _, c := range e.candidates {
+			if c.Derived {
+				st.Derived++
+			}
+			if c.Kind == KindSynthesized {
+				st.Synthesized++
+			}
+		}
+	}
+	return st
+}
+
 // IDs returns the indexed model IDs in insertion order.
 func (s *SemanticIndex) IDs() []string { return append([]string(nil), s.order...) }
 

@@ -117,12 +117,14 @@ func TestCtxCheckGolden(t *testing.T) {
 
 func TestErrCmpGolden(t *testing.T) { runGolden(t, ErrCmp, "errcmp") }
 
+func TestOptCheckGolden(t *testing.T) { runGolden(t, OptCheck, "sommelier") }
+
 // TestFullSuiteOverTestdata runs every analyzer over every golden
 // package at once; diagnostics must exactly cover the union of wants.
 // This catches analyzers that fire on another analyzer's fixtures.
 func TestFullSuiteOverTestdata(t *testing.T) {
 	patterns := []string{
-		"lockcheck", "snapwrite", "sommelier/internal/catalog",
+		"lockcheck", "snapwrite", "sommelier", "sommelier/internal/catalog",
 		"detcheck/index", "detcheck/plain", "ctxcheck/lib", "ctxcheck/mainprog",
 		"errcmp", "errcmp/deps",
 	}

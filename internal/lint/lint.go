@@ -88,6 +88,7 @@ func Analyzers() []*Analyzer {
 		DetCheck,
 		CtxCheck,
 		ErrCmp,
+		OptCheck,
 	}
 }
 

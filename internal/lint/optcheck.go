@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// optionsFields is the frozen field set of the root package's legacy
+// Options struct, as of its deprecation in favour of functional
+// options. The struct is kept only so pre-options callers compile; its
+// conversion path (Options.options) would silently drop any field the
+// author forgets to map, so the safe rule is absolute: no new fields,
+// ever. New knobs are With… functional options.
+var optionsFields = map[string]bool{
+	"Seed":             true,
+	"ValidationSize":   true,
+	"Bound":            true,
+	"Segments":         true,
+	"SegmentMinLen":    true,
+	"SampleSize":       true,
+	"IndexWorkers":     true,
+	"LatencyTable":     true,
+	"CustomValidation": true,
+}
+
+// OptCheck freezes the deprecated Options struct in the root sommelier
+// package: configuration knobs added after the functional-options
+// redesign must be With… Option constructors, not struct fields. A
+// field added to Options but not to the legacy converter would be
+// silently ignored for every NewEngine caller — this check turns that
+// quiet divergence into a lint failure.
+var OptCheck = &Analyzer{
+	Name: "optcheck",
+	Doc:  "the legacy Options struct is frozen; new knobs must be functional options",
+	Run:  runOptCheck,
+}
+
+func runOptCheck(pass *Pass) {
+	if pass.Pkg.Types.Name() != "sommelier" {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Options" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if !optionsFields[name.Name] {
+							pass.Reportf(name.Pos(),
+								"field %s added to the frozen legacy Options struct; add a With%s functional option instead",
+								name.Name, name.Name)
+						}
+					}
+					if len(field.Names) == 0 {
+						pass.Reportf(field.Pos(),
+							"embedded field added to the frozen legacy Options struct; add a functional option instead")
+					}
+				}
+			}
+		}
+	}
+}

@@ -35,3 +35,17 @@ var literalBuried = func(n int, ctx context.Context) error { // want `takes cont
 // NoCtx takes no context at all — threading is only checked where a
 // ctx exists, so no finding.
 func NoCtx(id string) string { return id }
+
+// FetchLegacy wraps Fetch for pre-context callers.
+//
+// Deprecated: use Fetch. A deprecated compatibility shim is the one
+// place a library may mint a root, so no finding here.
+func FetchLegacy(id string) error {
+	return Fetch(context.Background(), id)
+}
+
+// FreshMint looks like a shim but is not marked deprecated, so the
+// allowance does not apply.
+func FreshMint(id string) error {
+	return Fetch(context.Background(), id) // want `context\.Background in a library package`
+}

@@ -1,0 +1,31 @@
+// Package sommelier is optcheck's golden input: a stand-in for the
+// real root package whose deprecated Options struct is frozen.
+package sommelier
+
+// embeddable exists to exercise the embedded-field finding.
+type embeddable struct{}
+
+// Options mirrors the real legacy struct: the original fields are
+// allowed, anything newer is a finding.
+//
+// Deprecated: use functional options.
+type Options struct {
+	Seed             uint64
+	ValidationSize   int
+	Bound            int
+	Segments         bool
+	SegmentMinLen    int
+	SampleSize       int
+	IndexWorkers     int
+	LatencyTable     map[string]float64
+	CustomValidation *int
+
+	ShinyNewKnob bool // want `field ShinyNewKnob added to the frozen legacy Options struct`
+
+	embeddable // want `embedded field added to the frozen legacy Options struct`
+}
+
+// options is not named Options, so its fields are free.
+type options struct {
+	Whatever int
+}

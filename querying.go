@@ -1,10 +1,12 @@
 package sommelier
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 
+	"sommelier/internal/catalog"
 	"sommelier/internal/equiv"
 	"sommelier/internal/graph"
 	"sommelier/internal/index"
@@ -12,21 +14,53 @@ import (
 	"sommelier/internal/resource"
 )
 
-// Query parses and executes a query string.
-func (e *Engine) Query(q string) ([]Result, error) {
+// QueryContext parses and executes a query string. The whole query —
+// parse → candidates → filter → rank — is traced as one span tree and
+// timed into the engine's per-stage query histograms.
+func (e *Engine) QueryContext(ctx context.Context, q string) ([]Result, error) {
+	ctx, root := e.obs.StartSpan(ctx, "query", "")
+	defer func() { e.obs.Histogram("query_total_ms").Observe(root.End()) }()
+	_, span := e.obs.StartSpan(ctx, "parse", "")
 	ast, err := query.Parse(q)
+	e.obs.Histogram("query_parse_ms").Observe(span.End())
 	if err != nil {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
-	return e.QueryAST(ast)
+	return e.queryAST(ctx, ast)
 }
 
-// QueryAST executes a parsed query through the three-stage pipeline
-// (§5.4). The whole query runs against one catalog snapshot, so its
-// answer is internally consistent — and lock-free — no matter how many
-// models are being registered concurrently.
+// Query parses and executes a query string without a context.
+//
+// Deprecated: use QueryContext.
+func (e *Engine) Query(q string) ([]Result, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryASTContext executes a parsed query through the three-stage
+// pipeline (§5.4). The whole query runs against one catalog snapshot,
+// so its answer is internally consistent — and lock-free — no matter
+// how many models are being registered concurrently.
+func (e *Engine) QueryASTContext(ctx context.Context, q *query.Query) ([]Result, error) {
+	ctx, root := e.obs.StartSpan(ctx, "query", "")
+	defer func() { e.obs.Histogram("query_total_ms").Observe(root.End()) }()
+	return e.queryAST(ctx, q)
+}
+
+// QueryAST executes a parsed query without a context.
+//
+// Deprecated: use QueryASTContext.
 func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
+	return e.QueryASTContext(context.Background(), q)
+}
+
+// queryAST is the shared execution body. ctx carries the caller's
+// root query span; each stage opens a child span and feeds the
+// matching histogram.
+func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error) {
+	e.obs.Counter("queries_total").Inc()
 	if err := q.Validate(); err != nil {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 	snap := e.cat.Snapshot()
@@ -35,21 +69,27 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 	if refID == "" {
 		id, ok := snap.DefaultReference(q.Task)
 		if !ok {
+			e.obs.Counter("query_errors_total").Inc()
 			return nil, fmt.Errorf("sommelier: no default reference for task %q", q.Task)
 		}
 		refID = id
 	}
 	if !snap.Contains(refID) {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
 	}
 	refProf, ok := snap.Profile(refID)
 	if !ok {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, fmt.Errorf("sommelier: reference model %q has no resource profile", refID)
 	}
 
 	// Stage 1: semantic filter.
+	_, span := e.obs.StartSpan(ctx, "candidates", "")
 	cands, err := snap.Lookup(refID, q.Threshold)
+	e.obs.Histogram("query_candidates_ms").Observe(span.End())
 	if err != nil {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 
@@ -58,6 +98,7 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 	// without one, the indexed default-setting profiles apply.
 	setting, reprofile, err := execSetting(q.Exec)
 	if err != nil {
+		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 	profileOf := func(id string) (resource.Profile, error) {
@@ -73,6 +114,7 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 	}
 	if reprofile {
 		if refProf, err = profileOf(refID); err != nil {
+			e.obs.Counter("query_errors_total").Inc()
 			return nil, err
 		}
 	}
@@ -83,6 +125,28 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 	// Under an EXEC spec the LSH prefilter is skipped — the indexed
 	// vectors describe the default setting — and the exact per-candidate
 	// check below is authoritative.
+	_, span = e.obs.StartSpan(ctx, "filter", "")
+	results, err := e.resourceFilter(q, snap, cands, refProf, reprofile, profileOf)
+	e.obs.Histogram("query_filter_ms").Observe(span.End())
+	if err != nil {
+		e.obs.Counter("query_errors_total").Inc()
+		return nil, err
+	}
+
+	// Stage 3: final selection.
+	_, span = e.obs.StartSpan(ctx, "rank", "")
+	sortResults(results, q.Pick)
+	if q.Limit > 0 && len(results) > q.Limit {
+		results = results[:q.Limit]
+	}
+	e.obs.Histogram("query_rank_ms").Observe(span.End())
+	return results, nil
+}
+
+// resourceFilter is stage 2: intersect the semantic candidates with the
+// LSH-feasible set, then re-check every constraint exactly.
+func (e *Engine) resourceFilter(q *query.Query, snap *catalog.Snapshot, cands []index.Candidate,
+	refProf resource.Profile, reprofile bool, profileOf func(string) (resource.Profile, error)) ([]Result, error) {
 	budget, err := budgetFrom(q.Constraints, refProf)
 	if err != nil {
 		return nil, err
@@ -125,12 +189,6 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 			Profile:     prof,
 		})
 	}
-
-	// Stage 3: final selection.
-	sortResults(results, q.Pick)
-	if q.Limit > 0 && len(results) > q.Limit {
-		results = results[:q.Limit]
-	}
 	return results, nil
 }
 
@@ -170,7 +228,7 @@ func (e *Engine) Materialize(r Result) (*graph.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	minLen := e.opts.SegmentMinLen
+	minLen := e.cfg.cat.SegmentMinLen
 	if minLen <= 0 {
 		minLen = 3
 	}

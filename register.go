@@ -1,6 +1,7 @@
 package sommelier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,16 +17,19 @@ import (
 // models) or delete the ID themselves.
 var ErrPublishedUnindexed = errors.New("model published but not indexed")
 
-// Register publishes the model to the repository and indexes it. It
-// returns the repository ID.
+// RegisterContext publishes the model to the repository and indexes it.
+// It returns the repository ID. Canceling ctx aborts the pairwise
+// analysis before anything is committed to the index; the rollback
+// below then removes the published model, so a canceled Register
+// leaves no trace.
 //
-// Publish-then-index is not atomic; Register restores the invariant
-// "published implies indexed" on failure by deleting what it just
-// published. The rollback is skipped when the publish overwrote a
+// Publish-then-index is not atomic; RegisterContext restores the
+// invariant "published implies indexed" on failure by deleting what it
+// just published. The rollback is skipped when the publish overwrote a
 // pre-existing ID (deleting would destroy the prior version) or when a
 // concurrent writer indexed the ID first (the model is in the index —
 // just not through this call).
-func (e *Engine) Register(m *graph.Model) (string, error) {
+func (e *Engine) RegisterContext(ctx context.Context, m *graph.Model) (string, error) {
 	var preexisted bool
 	if m != nil {
 		_, preexisted = e.store.Metadata(repo.IDFor(m))
@@ -34,7 +38,7 @@ func (e *Engine) Register(m *graph.Model) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := e.cat.Index(id, m); err != nil {
+	if err := e.cat.Index(ctx, id, m); err != nil {
 		if errors.Is(err, index.ErrAlreadyIndexed) {
 			return "", err
 		}
@@ -50,22 +54,32 @@ func (e *Engine) Register(m *graph.Model) (string, error) {
 	return id, nil
 }
 
-// RegisterAnnotated publishes and indexes a model using designer-supplied
-// equivalence annotations (§5.5, "Supporting developer annotations")
-// instead of running the pairwise analysis against the annotated models:
-// levels maps already-indexed model IDs to the functional-equivalence
-// level the designer declares for them relative to this model. The
-// declared levels are recorded symmetrically and commit atomically: a
-// bad level or an unindexed reference applies no annotation edge at
-// all. Models NOT covered by an annotation are still analyzed normally
-// — annotations replace only the measurements they actually provide.
-func (e *Engine) RegisterAnnotated(m *graph.Model, levels map[string]float64) (string, error) {
+// Register publishes and indexes the model without a context.
+//
+// Deprecated: use RegisterContext. This wrapper exists only so code
+// written against the pre-context API keeps compiling; it cannot be
+// canceled.
+func (e *Engine) Register(m *graph.Model) (string, error) {
+	return e.RegisterContext(context.Background(), m)
+}
+
+// RegisterAnnotatedContext publishes and indexes a model using
+// designer-supplied equivalence annotations (§5.5, "Supporting
+// developer annotations") instead of running the pairwise analysis
+// against the annotated models: levels maps already-indexed model IDs
+// to the functional-equivalence level the designer declares for them
+// relative to this model. The declared levels are recorded
+// symmetrically and commit atomically: a bad level or an unindexed
+// reference applies no annotation edge at all. Models NOT covered by
+// an annotation are still analyzed normally — annotations replace only
+// the measurements they actually provide.
+func (e *Engine) RegisterAnnotatedContext(ctx context.Context, m *graph.Model, levels map[string]float64) (string, error) {
 	for id, lvl := range levels {
 		if lvl < 0 || lvl > 1 {
 			return "", fmt.Errorf("sommelier: annotation level %g for %q outside [0,1]", lvl, id)
 		}
 	}
-	id, err := e.Register(m)
+	id, err := e.RegisterContext(ctx, m)
 	if err != nil {
 		return "", err
 	}
@@ -75,12 +89,24 @@ func (e *Engine) RegisterAnnotated(m *graph.Model, levels map[string]float64) (s
 	return id, nil
 }
 
-// IndexAll indexes every repository model not yet indexed, in repository
-// order, fanning the pairwise analysis out across Options.IndexWorkers.
-// Models indexed concurrently by other writers are skipped, not
-// errors. It returns on the first analysis or commit failure; models
-// committed before the failure stay indexed.
-func (e *Engine) IndexAll() error {
+// RegisterAnnotated publishes and indexes a model with annotations,
+// without a context.
+//
+// Deprecated: use RegisterAnnotatedContext.
+func (e *Engine) RegisterAnnotated(m *graph.Model, levels map[string]float64) (string, error) {
+	return e.RegisterAnnotatedContext(context.Background(), m, levels)
+}
+
+// IndexAllContext indexes every repository model not yet indexed, in
+// repository order, fanning the pairwise analysis out across the
+// engine's index workers. Models indexed concurrently by other writers
+// are skipped, not errors. It returns on the first analysis or commit
+// failure; models committed before the failure stay indexed.
+//
+// Canceling ctx drains the worker pool mid-batch and returns ctx.Err()
+// with nothing committed: the batch commits only after its analysis
+// completes.
+func (e *Engine) IndexAllContext(ctx context.Context) error {
 	snap := e.cat.Snapshot()
 	var entries []index.Entry
 	for _, md := range e.store.List() {
@@ -93,15 +119,23 @@ func (e *Engine) IndexAll() error {
 		}
 		entries = append(entries, index.Entry{ID: md.ID, Model: m})
 	}
-	_, err := e.cat.IndexBatch(entries)
+	_, err := e.cat.IndexBatch(ctx, entries)
 	return err
+}
+
+// IndexAll indexes every unindexed repository model without a context.
+//
+// Deprecated: use IndexAllContext, whose cancellation aborts the
+// worker pool mid-batch.
+func (e *Engine) IndexAll() error {
+	return e.IndexAllContext(context.Background())
 }
 
 // IndexModel indexes an already published model, skipping it silently
 // if it is already indexed — the hook hub servers call after accepting
 // an upload.
-func (e *Engine) IndexModel(id string, m *graph.Model) error {
-	if err := e.cat.Index(id, m); err != nil && !errors.Is(err, index.ErrAlreadyIndexed) {
+func (e *Engine) IndexModel(ctx context.Context, id string, m *graph.Model) error {
+	if err := e.cat.Index(ctx, id, m); err != nil && !errors.Is(err, index.ErrAlreadyIndexed) {
 		return err
 	}
 	return nil

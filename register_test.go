@@ -1,6 +1,7 @@
 package sommelier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -26,7 +27,7 @@ func (failingAnalyzer) Analyze(ref, cand index.Entry) (index.AnalysisResult, err
 // withAnalyzer swaps the engine's catalog for one using the given
 // analyzer, keeping the engine's seed and store.
 func withAnalyzer(e *Engine, a index.Analyzer) {
-	e.cat = catalog.New(catalog.Config{Seed: e.opts.Seed, Analyzer: a})
+	e.cat = catalog.New(catalog.Config{Seed: e.cfg.cat.Seed, Analyzer: a})
 }
 
 func registerTestModel(t testing.TB, name string, seed uint64) *graph.Model {
@@ -223,7 +224,7 @@ func TestIndexAllSkipsConcurrentlyIndexed(t *testing.T) {
 	}
 	// Sneak one in through the single-model path first; IndexAll must
 	// skip it and index the rest exactly once.
-	if err := eng.IndexModel(repo.IDFor(models[1]), models[1]); err != nil {
+	if err := eng.IndexModel(context.Background(), repo.IDFor(models[1]), models[1]); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.IndexAll(); err != nil {

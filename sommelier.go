@@ -16,13 +16,22 @@
 // A minimal session:
 //
 //	store := repo.NewInMemory()
-//	eng, _ := sommelier.New(store, sommelier.Options{})
-//	id, _ := eng.Register(model)
-//	results, _ := eng.Query(`SELECT CORR "` + id + `" WITHIN 90% ON memory <= 80% PICK most_similar`)
+//	eng, _ := sommelier.NewEngine(store, sommelier.WithSeed(7))
+//	id, _ := eng.RegisterContext(ctx, model)
+//	results, _ := eng.QueryContext(ctx, `SELECT CORR "`+id+`" WITHIN 90% ON memory <= 80% PICK most_similar`)
+//
+// The API is context-first: every entry point that can block — query,
+// register, index — takes a ctx whose cancellation aborts the work,
+// including the indexing worker pool mid-batch. The ctx-less names
+// (Query, Register, IndexAll, Explain) remain as deprecated wrappers
+// over context.Background() at this package boundary only. The engine
+// observes itself through internal/obs (see Engine.Observer): per-stage
+// index and query timings, spans, and worker occupancy, exported as one
+// JSON snapshot.
 //
 // The Engine itself is a thin facade: engine.go holds construction and
-// accessors, register.go the write path (publish + staged indexing),
-// querying.go the read path.
+// accessors (options.go the functional options), register.go the write
+// path (publish + staged indexing), querying.go the read path.
 package sommelier
 
 import (
@@ -32,6 +41,12 @@ import (
 )
 
 // Options configures an Engine (§5.5's knobs).
+//
+// Deprecated: use NewEngine with functional options (WithSeed,
+// WithIndexWorkers, WithObserver, …). The struct is kept as a
+// convertible compatibility shim; its field set is frozen — sommlint's
+// optcheck rejects new fields — so new knobs appear only as Options
+// funcs.
 type Options struct {
 	// Seed drives every random choice; equal seeds give identical
 	// indexes and results, at any IndexWorkers setting.
