@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench
+.PHONY: build test race vet lint check bench chaos
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,22 @@ lint:
 check: vet lint race
 
 # bench runs the Go micro-benchmarks, then the serial-vs-parallel
-# indexing benchmark and the query-latency benchmark, leaving their
-# machine-readable results in BENCH_index.json and BENCH_query.json
-# (query percentiles come from the query_*_ms histograms).
+# indexing benchmark, the query-latency benchmark, and the cluster
+# scatter-gather load harness, leaving their machine-readable results
+# in BENCH_index.json, BENCH_query.json and BENCH_cluster.json
+# (latency percentiles come from the *_ms histograms).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/sommbench -exp indexbench -index-out BENCH_index.json
 	$(GO) run ./cmd/sommbench -exp querybench -query-out BENCH_query.json
+	$(GO) run ./cmd/sommbench -exp clusterbench -cluster-out BENCH_cluster.json
+
+# chaos runs the seeded fault-schedule matrix under the race detector:
+# every TestChaos* case in internal/cluster (replica kill mid-query,
+# full shard loss, flake, slow-replica timeout, kill mid-upload and
+# mid-rebalance, concurrent stress) plus the schedule-replay tests in
+# internal/faults. -v prints per-schedule PASS/FAIL; every schedule is
+# seed-programmed, so a failure reproduces byte-for-byte.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestSchedule|TestComposedFlakyStores' \
+		./internal/cluster/ ./internal/faults/

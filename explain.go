@@ -98,12 +98,12 @@ func (e *Engine) ExplainContext(ctx context.Context, q string) (*Explanation, er
 	if refID == "" {
 		id, ok := snap.DefaultReference(ast.Task)
 		if !ok {
-			return nil, fmt.Errorf("sommelier: no default reference for task %q", ast.Task)
+			return nil, fmt.Errorf("%w: no default reference for task %q", ErrUnknownReference, ast.Task)
 		}
 		refID = id
 	}
 	if !snap.Contains(refID) {
-		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
+		return nil, fmt.Errorf("%w: %q is not indexed", ErrUnknownReference, refID)
 	}
 	refProf, _ := snap.Profile(refID)
 

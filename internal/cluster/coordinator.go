@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sommelier/internal/hub"
+	"sommelier/internal/obs"
+	"sommelier/internal/query"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultReplicaTimeout bounds each per-replica query attempt.
+	DefaultReplicaTimeout = 2 * time.Second
+	// DefaultLKGCacheCap bounds the last-known-good cache (per-shard,
+	// per-query entries, LRU eviction).
+	DefaultLKGCacheCap = 256
+)
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithReplicaTimeout bounds each per-replica attempt; the scatter
+// deadline a caller sets on ctx still applies on top.
+func WithReplicaTimeout(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.replicaTimeout = d }
+}
+
+// WithLKGCacheCap bounds the last-known-good cache; n <= 0 disables
+// the stale-serving rung entirely.
+func WithLKGCacheCap(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.lkgCap = n }
+}
+
+// WithCoordinatorObserver attaches an observability handle. The
+// coordinator records cluster_query_ms and per-shard
+// cluster_shard<i>_query_ms histograms, counts queries by outcome
+// (cluster_queries_total, cluster_degraded_queries,
+// cluster_failed_queries_total), and tallies the degradation machinery:
+// cluster_failovers_total split by cause (breaker/timeout/error),
+// cluster_stale_shards_total and cluster_missing_shards_total.
+func WithCoordinatorObserver(o *obs.Observer) CoordinatorOption {
+	return func(c *Coordinator) { c.obs = o }
+}
+
+// Coordinator owns the read path of a shard cluster: it fans every
+// query out to all shards in parallel, walks each shard's replicas in
+// health-preference order, and merges the per-shard answers into one
+// globally ranked top-K. Failure degrades one rung at a time, per
+// shard (the PR-1 ladder, lifted to the cluster):
+//
+//	replica answer → failover to next replica → last-known-good (stale)
+//	→ partial result naming the missing shard
+//
+// A query therefore never fails because a shard died; it fails only if
+// the query itself is invalid. Everything below an invalid query is a
+// Response whose Missing/Stale fields say exactly how much of the
+// catalog answered.
+type Coordinator struct {
+	shards         [][]QueryBackend
+	health         *healthTracker
+	replicaTimeout time.Duration
+	lkgCap         int
+	obs            *obs.Observer
+
+	mu     sync.Mutex
+	lkg    map[string]*list.Element // guarded by mu — key "shard|query"
+	lkgLRU *list.List               // guarded by mu — front = most recent
+}
+
+// lkgEntry is one cached per-shard answer.
+type lkgEntry struct {
+	key     string
+	results []Result
+}
+
+// NewCoordinator builds a coordinator over the shard topology; every
+// shard needs at least one replica.
+func NewCoordinator(shards [][]QueryBackend, opts ...CoordinatorOption) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard")
+	}
+	for i, reps := range shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+	}
+	c := &Coordinator{
+		shards:         shards,
+		health:         newHealthTracker(shards),
+		replicaTimeout: DefaultReplicaTimeout,
+		lkgCap:         DefaultLKGCacheCap,
+		lkg:            make(map[string]*list.Element),
+		lkgLRU:         list.New(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.replicaTimeout <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive replica timeout")
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Health returns every replica's health record, shards outermost.
+func (c *Coordinator) Health() [][]ReplicaHealth { return c.health.Snapshot() }
+
+// shardOut is one shard's contribution to a scatter.
+type shardOut struct {
+	results   []Result
+	stale     bool
+	missing   bool
+	failovers int
+}
+
+// Query runs one scatter-gather query. The error is non-nil only for
+// an invalid query; shard failures surface through the Response's
+// Missing and Stale fields instead.
+func (c *Coordinator) Query(ctx context.Context, q string) (*Response, error) {
+	c.obs.Counter("cluster_queries_total").Inc()
+	stop := c.obs.Time("cluster_query_ms")
+	defer stop()
+	parsed, err := query.Parse(q)
+	if err == nil {
+		err = parsed.Validate()
+	}
+	if err != nil {
+		c.obs.Counter("cluster_query_errors_total").Inc()
+		return nil, err
+	}
+
+	outs := make([]shardOut, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			outs[shard] = c.queryShard(ctx, shard, q)
+		}(i)
+	}
+	wg.Wait()
+
+	resp := &Response{Shards: len(c.shards)}
+	perShard := make([][]Result, len(outs))
+	for i, out := range outs {
+		perShard[i] = out.results
+		resp.Failovers += out.failovers
+		if out.stale {
+			resp.Stale = append(resp.Stale, i)
+		}
+		if out.missing {
+			resp.Missing = append(resp.Missing, i)
+		}
+	}
+	sort.Ints(resp.Stale)
+	sort.Ints(resp.Missing)
+	resp.Results = mergeTopK(parsed, perShard)
+	switch resp.Class() {
+	case OutcomeDegraded:
+		c.obs.Counter("cluster_degraded_queries").Inc()
+	case OutcomeFailed:
+		c.obs.Counter("cluster_failed_queries_total").Inc()
+	}
+	return resp, nil
+}
+
+// queryShard walks one shard's replicas in preference order, then the
+// lower rungs of the ladder.
+func (c *Coordinator) queryShard(ctx context.Context, shard int, q string) shardOut {
+	stop := c.obs.Time(fmt.Sprintf("cluster_shard%d_query_ms", shard))
+	defer stop()
+	attempts := 0
+	for _, r := range c.health.order(shard) {
+		attemptCtx, cancel := context.WithTimeout(ctx, c.replicaTimeout)
+		res, err := c.shards[shard][r].Query(attemptCtx, q)
+		cancel()
+		if err == nil {
+			c.health.ok(shard, r)
+			if attempts > 0 {
+				c.obs.Counter("cluster_failovers_total").Add(int64(attempts))
+			}
+			c.cachePut(shard, q, res)
+			return shardOut{results: res, failovers: attempts}
+		}
+		c.health.fail(shard, r)
+		c.obs.Counter(fmt.Sprintf("cluster_shard%d_errors_total", shard)).Inc()
+		c.obs.Counter("cluster_failover_" + failoverCause(err) + "_total").Inc()
+		attempts++
+		if ctx.Err() != nil {
+			// The scatter deadline itself expired; further replicas
+			// would only see dead contexts.
+			break
+		}
+	}
+	if res, ok := c.cacheGet(shard, q); ok {
+		c.obs.Counter("cluster_stale_shards_total").Inc()
+		return shardOut{results: res, stale: true, failovers: attempts}
+	}
+	c.obs.Counter("cluster_missing_shards_total").Inc()
+	return shardOut{missing: true, failovers: attempts}
+}
+
+// failoverCause classifies why a replica attempt failed, for the
+// failover counters: an open client-side breaker, a timeout (the
+// per-attempt deadline or the hub client's own per-attempt timeout), or
+// any other error.
+func failoverCause(err error) string {
+	switch {
+	case errors.Is(err, hub.ErrCircuitOpen):
+		return "breaker"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, hub.ErrAttemptTimeout):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+func lkgKey(shard int, q string) string { return fmt.Sprintf("%d|%s", shard, q) }
+
+// cachePut stores a fresh per-shard answer as that (shard, query)'s
+// last known good, evicting the oldest entry past the cap.
+func (c *Coordinator) cachePut(shard int, q string, res []Result) {
+	if c.lkgCap <= 0 {
+		return
+	}
+	key := lkgKey(shard, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.lkg[key]; ok {
+		el.Value.(*lkgEntry).results = res
+		c.lkgLRU.MoveToFront(el)
+		return
+	}
+	c.lkg[key] = c.lkgLRU.PushFront(&lkgEntry{key: key, results: res})
+	if c.lkgLRU.Len() > c.lkgCap {
+		oldest := c.lkgLRU.Back()
+		c.lkgLRU.Remove(oldest)
+		delete(c.lkg, oldest.Value.(*lkgEntry).key)
+	}
+}
+
+// cacheGet returns the last-known-good answer for (shard, query), if
+// any. A hit refreshes recency but the entry stays — an outage can
+// outlive many queries.
+func (c *Coordinator) cacheGet(shard int, q string) ([]Result, bool) {
+	if c.lkgCap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.lkg[lkgKey(shard, q)]
+	if !ok {
+		return nil, false
+	}
+	c.lkgLRU.MoveToFront(el)
+	return el.Value.(*lkgEntry).results, true
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// ReplicaHealth is one replica's health record.
+type ReplicaHealth struct {
+	Shard, Replica int
+	// Consecutive is the current run of consecutive failures; 0 means
+	// the replica answered its most recent request.
+	Consecutive int64
+	Successes   int64
+	Failures    int64
+}
+
+// healthTracker records per-replica outcomes and orders replicas for
+// failover: replicas with no current failure streak first, then by
+// ascending failure streak, index as the deterministic tie-break. The
+// ordering is a preference, not a gate — a fully dark shard still gets
+// every replica tried before the coordinator degrades.
+type healthTracker struct {
+	mu    sync.Mutex
+	state [][]ReplicaHealth // guarded by mu
+}
+
+func newHealthTracker(shards [][]QueryBackend) *healthTracker {
+	st := make([][]ReplicaHealth, len(shards))
+	for i, reps := range shards {
+		st[i] = make([]ReplicaHealth, len(reps))
+		for j := range reps {
+			st[i][j] = ReplicaHealth{Shard: i, Replica: j}
+		}
+	}
+	return &healthTracker{state: st}
+}
+
+// ok records a success.
+func (h *healthTracker) ok(shard, replica int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := &h.state[shard][replica]
+	r.Consecutive = 0
+	r.Successes++
+}
+
+// fail records a failure.
+func (h *healthTracker) fail(shard, replica int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := &h.state[shard][replica]
+	r.Consecutive++
+	r.Failures++
+}
+
+// order returns the shard's replica indices in failover-preference
+// order.
+func (h *healthTracker) order(shard int) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	reps := h.state[shard]
+	out := make([]int, len(reps))
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ca, cb := reps[out[a]].Consecutive, reps[out[b]].Consecutive
+		if ca != cb {
+			return ca < cb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// Snapshot returns every replica's health, shards outermost.
+func (h *healthTracker) Snapshot() [][]ReplicaHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([][]ReplicaHealth, len(h.state))
+	for i, reps := range h.state {
+		out[i] = append([]ReplicaHealth(nil), reps...)
+	}
+	return out
+}

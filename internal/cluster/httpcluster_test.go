@@ -1,0 +1,149 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sommelier"
+	"sommelier/internal/cluster"
+	"sommelier/internal/hub"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// hubReplica is one remote shard replica: a live hub server (engine
+// indexer + querier, shard-aware healthz) fronted by a resilient hub
+// client.
+type hubReplica struct {
+	ts *httptest.Server
+	r  *cluster.HTTPReplica
+}
+
+func newHubReplica(t *testing.T, shard, shards int) *hubReplica {
+	t.Helper()
+	store := repo.NewInMemory()
+	eng, err := sommelier.NewEngine(store,
+		sommelier.WithSeed(11),
+		sommelier.WithValidationSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := hub.NewServer(store,
+		hub.WithIndexer(eng),
+		hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
+			return eng.QueryContext(ctx, q)
+		}),
+		hub.WithShardInfo(shard, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client, err := hub.NewClient(ts.URL, ts.Client(),
+		hub.WithTimeout(5*time.Second),
+		hub.WithRetries(1),
+		hub.WithBackoff(time.Millisecond, 2*time.Millisecond),
+		hub.WithBreaker(3, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hubReplica{ts: ts, r: cluster.NewHTTPReplica(client)}
+}
+
+// TestHTTPClusterFailover drives the whole remote stack — cluster
+// writes, scatter-gather reads, replica failover and the stale rung —
+// over real hub servers and clients.
+func TestHTTPClusterFailover(t *testing.T) {
+	const (
+		shards   = 2
+		replicas = 2
+	)
+	hubs := make([][]*hubReplica, shards)
+	topo := make([][]cluster.Replica, shards)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			hr := newHubReplica(t, s, shards)
+			hubs[s] = append(hubs[s], hr)
+			topo[s] = append(topo[s], hr.r)
+		}
+	}
+	cl, err := cluster.NewCluster(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := cluster.NewCoordinator(cluster.Backends(topo), cluster.WithReplicaTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	base, err := zoo.DenseResidualNet(zoo.Config{Name: "http-base", Seed: 11, Width: 8, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refID, err := cl.Broadcast(ctx, base)
+	if err != nil {
+		t.Fatalf("broadcast over HTTP: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		v := zoo.Perturb(base, fmt.Sprintf("http-v%d", i), 0.01*float64(i+1), uint64(i+20))
+		if _, err := cl.Publish(ctx, v); err != nil {
+			t.Fatalf("publish variant %d over HTTP: %v", i, err)
+		}
+	}
+
+	q := fmt.Sprintf("SELECT CORR %q WITHIN 50%% PICK most_similar", refID)
+	resp, err := co.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("healthy query: %v", err)
+	}
+	if resp.Class() != cluster.OutcomeFull || len(resp.Results) < 2 {
+		t.Fatalf("healthy response: class %s, %d results", resp.Class(), len(resp.Results))
+	}
+	baseline := mustJSON(t, resp.Results)
+
+	// Replica loss: close shard 0 / replica 0's server. The coordinator
+	// must fail over to replica 1 and the answer must not change.
+	hubs[0][0].ts.Close()
+	resp, err = co.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("query after replica loss: %v", err)
+	}
+	if resp.Class() != cluster.OutcomeFull {
+		t.Fatalf("replica loss degraded to %s (missing %v, stale %v)", resp.Class(), resp.Missing, resp.Stale)
+	}
+	if resp.Failovers == 0 {
+		t.Error("no failover recorded despite a dead server")
+	}
+	if got := mustJSON(t, resp.Results); !bytes.Equal(got, baseline) {
+		t.Errorf("failover changed the top-K:\n got %s\nwant %s", got, baseline)
+	}
+
+	// Shard loss: close the remaining replica. The shard's last answer
+	// keeps serving, tagged stale.
+	hubs[0][1].ts.Close()
+	resp, err = co.Query(ctx, q)
+	if err != nil {
+		t.Fatalf("query after shard loss: %v", err)
+	}
+	if resp.Class() != cluster.OutcomeDegraded || len(resp.Stale) != 1 || resp.Stale[0] != 0 {
+		t.Fatalf("shard loss: class %s, stale %v, missing %v; want stale [0]", resp.Class(), resp.Stale, resp.Missing)
+	}
+	if got := mustJSON(t, resp.Results); !bytes.Equal(got, baseline) {
+		t.Errorf("stale-served top-K differs:\n got %s\nwant %s", got, baseline)
+	}
+
+	// A query never seen before cannot be served stale: the shard goes
+	// missing and the result says so.
+	resp, err = co.Query(ctx, fmt.Sprintf("SELECT CORR %q WITHIN 60%% PICK smallest", refID))
+	if err != nil {
+		t.Fatalf("novel query after shard loss: %v", err)
+	}
+	if resp.Class() != cluster.OutcomeDegraded || len(resp.Missing) != 1 || resp.Missing[0] != 0 {
+		t.Fatalf("novel query: class %s, missing %v, stale %v; want missing [0]", resp.Class(), resp.Missing, resp.Stale)
+	}
+}

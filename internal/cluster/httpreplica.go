@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"sommelier/internal/graph"
+	"sommelier/internal/hub"
+	"sommelier/internal/repo"
+)
+
+// HTTPReplica adapts a hub.Client into a shard Replica, so a
+// coordinator can front remote sommhub shard processes. The client
+// brings its own resilience (per-attempt timeouts, retries, circuit
+// breaker); the coordinator's failover sits on top of it.
+type HTTPReplica struct {
+	client *hub.Client
+}
+
+// NewHTTPReplica wraps a hub client.
+func NewHTTPReplica(c *hub.Client) *HTTPReplica { return &HTTPReplica{client: c} }
+
+// Query runs the query on the remote shard's /v1/query. A shard that
+// answers deliberately with a client error — the unknown-reference case
+// of a catalog that does not hold this query's reference model — is an
+// empty contribution, not a failure.
+func (r *HTTPReplica) Query(ctx context.Context, q string) ([]Result, error) {
+	raw, err := r.client.Query(ctx, q)
+	if err != nil {
+		var se *hub.StatusError
+		if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []Result
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("cluster: decoding shard results: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Publish uploads the model. The hub client carries its own timeout;
+// ctx only gates starting the upload.
+func (r *HTTPReplica) Publish(ctx context.Context, m *graph.Model) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return r.client.Publish(m)
+}
+
+// Load fetches a model, mapping the remote 404 onto repo.ErrNotFound
+// so cluster fallback logic treats local and remote replicas alike.
+func (r *HTTPReplica) Load(ctx context.Context, id string) (*graph.Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := r.client.Load(id)
+	if err != nil {
+		var se *hub.StatusError
+		if errors.As(err, &se) && se.Code == 404 {
+			return nil, fmt.Errorf("cluster: remote load %s: %w", id, repo.ErrNotFound)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// List returns the remote shard's metadata.
+func (r *HTTPReplica) List(ctx context.Context) ([]repo.Metadata, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.client.List()
+}
+
+// Delete removes a model, mapping the remote 404 onto repo.ErrNotFound.
+func (r *HTTPReplica) Delete(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := r.client.Delete(id); err != nil {
+		var se *hub.StatusError
+		if errors.As(err, &se) && se.Code == 404 {
+			return fmt.Errorf("cluster: remote delete %s: %w", id, repo.ErrNotFound)
+		}
+		return err
+	}
+	return nil
+}
+
+// Rebuild is a no-op for remote replicas: a sommhub shard running with
+// -index reindexes every accepted upload itself, which is the same
+// invariant Rebuild restores for in-process replicas.
+func (r *HTTPReplica) Rebuild(ctx context.Context) error { return ctx.Err() }

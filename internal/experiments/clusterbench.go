@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sommelier/internal/cluster"
+	"sommelier/internal/faults"
+	"sommelier/internal/obs"
+)
+
+// ClusterBenchConfig scales the cluster load harness: an in-process
+// Shards×Replicas cluster is seeded with a broadcast reference plus
+// sharded variants, then Clients concurrent simulated clients drive
+// queries through the scatter-gather coordinator while a fault
+// schedule degrades part of the cluster mid-run — one shard loses a
+// single replica (failover territory) and another loses every replica
+// (degradation territory).
+type ClusterBenchConfig struct {
+	Shards, Replicas int
+	// Variants is the number of sharded (non-broadcast) models.
+	Variants     int
+	Width, Depth int
+	// Clients is the number of concurrent simulated clients;
+	// QueriesPerClient is each one's query count.
+	Clients          int
+	QueriesPerClient int
+	ValidationSize   int
+	Seed             uint64
+	// FaultFraction is the point in each client's query stream — as a
+	// fraction of QueriesPerClient — where the fault windows open.
+	FaultFraction float64
+}
+
+// DefaultClusterBenchConfig drives 64 clients × 8 queries against a
+// 4×2 cluster.
+func DefaultClusterBenchConfig() ClusterBenchConfig {
+	return ClusterBenchConfig{
+		Shards: 4, Replicas: 2,
+		Variants: 12, Width: 16, Depth: 2,
+		Clients: 64, QueriesPerClient: 8,
+		ValidationSize: 64, Seed: 2022,
+		FaultFraction: 0.5,
+	}
+}
+
+// OutcomeLatency is one outcome class's latency digest.
+type OutcomeLatency struct {
+	Outcome string  `json:"outcome"`
+	Count   int64   `json:"count"`
+	P50     float64 `json:"p50_ms"`
+	P95     float64 `json:"p95_ms"`
+	P99     float64 `json:"p99_ms"`
+	Max     float64 `json:"max_ms"`
+}
+
+// ClusterBenchResult is the harness report; the JSON form is what
+// `make bench` writes to BENCH_cluster.json.
+type ClusterBenchResult struct {
+	Shards          int              `json:"shards"`
+	Replicas        int              `json:"replicas"`
+	Models          int              `json:"models"`
+	Clients         int              `json:"clients"`
+	Queries         int64            `json:"queries"`
+	Errors          int64            `json:"query_errors"`
+	Failovers       int64            `json:"failovers"`
+	DegradedQueries int64            `json:"degraded_queries"`
+	StaleShards     int64            `json:"stale_shards"`
+	MissingShards   int64            `json:"missing_shards"`
+	Outcomes        []OutcomeLatency `json:"outcomes"`
+}
+
+// RunClusterBench builds the cluster, opens the fault windows, and
+// drives the concurrent client load, reporting latency percentiles per
+// outcome class (full / degraded / failed) from the observability
+// histograms — the numbers that say what a partially dead cluster
+// costs its callers.
+func RunClusterBench(ctx context.Context, cfg ClusterBenchConfig) (*ClusterBenchResult, error) {
+	if cfg.Shards <= 0 {
+		cfg = DefaultClusterBenchConfig()
+	}
+	if cfg.Shards < 3 {
+		return nil, fmt.Errorf("experiments: clusterbench needs >= 3 shards (two get faulted), got %d", cfg.Shards)
+	}
+	o := obs.New()
+	sched := faults.NewSchedule(cfg.Seed)
+	wrap := func(shard, replica int, r cluster.Replica) cluster.Replica {
+		return cluster.NewFaultyReplica(r, cluster.Target(shard, replica), sched)
+	}
+	cl, co, err := BuildCluster(ClusterTopology{
+		Shards: cfg.Shards, Replicas: cfg.Replicas,
+		Seed: cfg.Seed, ValidationSize: cfg.ValidationSize,
+	}, wrap, o, cluster.WithReplicaTimeout(250*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	refID, _, err := SeedClusterModels(ctx, cl, cfg.Variants, cfg.Width, cfg.Depth, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	models, err := cl.List(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Program the chaos (Set resets each target's op counter, so the
+	// seeding publishes don't shift the windows): shard 1's primary dies
+	// mid-run — pure failover territory — while shard 2 loses its
+	// primary immediately and its last replica mid-run, so the second
+	// half of the load degrades to the stale/missing rungs. Window
+	// offsets are per-target operations; a replica serving its shard's
+	// queries sees about one op per cluster query.
+	from := int64(float64(cfg.Clients*cfg.QueriesPerClient) * cfg.FaultFraction)
+	sched.Set(cluster.Target(1, 0), faults.Kill(from, 0))
+	sched.Set(cluster.Target(2, 0), faults.Kill(0, 0))
+	for r := 1; r < cfg.Replicas; r++ {
+		sched.Set(cluster.Target(2, r), faults.Kill(from, 0))
+	}
+
+	queries := []string{
+		fmt.Sprintf("SELECT CORR %q WITHIN 85%% PICK most_similar", refID),
+		fmt.Sprintf("SELECT CORR %q WITHIN 85%% ON memory <= 120%% PICK smallest", refID),
+		fmt.Sprintf("SELECT CORR %q WITHIN 90%% PICK fastest LIMIT 5", refID),
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for cli := 0; cli < cfg.Clients; cli++ {
+		wg.Add(1)
+		go func(cli int) {
+			defer wg.Done()
+			for i := 0; i < cfg.QueriesPerClient; i++ {
+				q := queries[(cli+i)%len(queries)]
+				stop := o.Time("clusterbench_query_ms")
+				resp, err := co.Query(ctx, q)
+				ms := stop()
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %w", cli, err)
+					return
+				}
+				o.Histogram("cluster_outcome_" + resp.Class() + "_ms").Observe(ms)
+				o.Counter("cluster_outcome_" + resp.Class() + "_total").Inc()
+			}
+		}(cli)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	snap := o.Snapshot()
+	res := &ClusterBenchResult{
+		Shards:          cfg.Shards,
+		Replicas:        cfg.Replicas,
+		Models:          len(models),
+		Clients:         cfg.Clients,
+		Queries:         snap.Counters["cluster_queries_total"],
+		Errors:          snap.Counters["cluster_query_errors_total"],
+		Failovers:       snap.Counters["cluster_failovers_total"],
+		DegradedQueries: snap.Counters["cluster_degraded_queries"],
+		StaleShards:     snap.Counters["cluster_stale_shards_total"],
+		MissingShards:   snap.Counters["cluster_missing_shards_total"],
+	}
+	for _, class := range []string{cluster.OutcomeFull, cluster.OutcomeDegraded, cluster.OutcomeFailed} {
+		h := snap.Histograms["cluster_outcome_"+class+"_ms"]
+		res.Outcomes = append(res.Outcomes, OutcomeLatency{
+			Outcome: class,
+			Count:   snap.Counters["cluster_outcome_"+class+"_total"],
+			P50:     h.P50, P95: h.P95, P99: h.P99, Max: h.Max,
+		})
+	}
+	return res, nil
+}
+
+// Report renders the paper-style summary block.
+func (r *ClusterBenchResult) Report() Report {
+	rep := Report{
+		ID:    "clusterbench",
+		Title: "scatter-gather latency by outcome class under partial failure",
+	}
+	rep.Lines = append(rep.Lines,
+		line("cluster:          %d shards x %d replicas, %d models", r.Shards, r.Replicas, r.Models),
+		line("load:             %d clients, %d queries (%d errors)", r.Clients, r.Queries, r.Errors),
+		line("degradation:      %d failovers, %d degraded queries (%d stale, %d missing shard reads)",
+			r.Failovers, r.DegradedQueries, r.StaleShards, r.MissingShards),
+		line("%-10s %8s %8s %8s %8s %8s", "OUTCOME", "COUNT", "P50", "P95", "P99", "MAX"),
+	)
+	for _, o := range r.Outcomes {
+		rep.Lines = append(rep.Lines,
+			line("%-10s %8d %7.2fms %7.2fms %7.2fms %7.2fms", o.Outcome, o.Count, o.P50, o.P95, o.P99, o.Max))
+	}
+	return rep
+}

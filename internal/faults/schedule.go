@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Schedule drives cluster-level chaos: named targets (one per shard
+// replica, typically "shard1/replica0") each carry a list of fault
+// windows over the target's own operation counter. A window applies a
+// fault kind to operations [From, To) at a given rate, so a test can
+// kill a replica outright for its whole life, slow it for ops 10..20,
+// or flake it at 30% — and replay the exact same behaviour from the
+// same seed.
+//
+// Determinism is per target: every target draws from its own rand
+// stream seeded by the schedule seed and the target name, so the fault
+// sequence a target sees depends only on its own operation count — not
+// on how operations on different targets interleave. That is what makes
+// whole-cluster chaos tests reproducible under concurrency.
+type Schedule struct {
+	seed uint64
+
+	mu      sync.Mutex
+	targets map[string]*targetState // guarded by mu
+}
+
+// targetState is one target's windows, op counter and rand stream.
+type targetState struct {
+	windows []Window
+	ops     int64
+	rng     *rand.Rand
+}
+
+// Window applies Kind to a target's operations [From, To).
+type Window struct {
+	// From and To bound the affected operation indices, half-open;
+	// To <= 0 means the window never closes.
+	From, To int64
+	// Kind is the fault applied inside the window.
+	Kind Kind
+	// Rate is the per-operation probability inside the window; values
+	// outside (0,1) mean "every operation".
+	Rate float64
+	// Latency is the injected delay for Latency windows.
+	Latency time.Duration
+}
+
+// Kill returns a window that fails every operation in [from, to) with a
+// connection error — the dead-replica schedule.
+func Kill(from, to int64) Window { return Window{From: from, To: to, Kind: ConnError} }
+
+// Slow returns a window that delays every operation in [from, to) by d.
+func Slow(from, to int64, d time.Duration) Window {
+	return Window{From: from, To: to, Kind: Latency, Latency: d}
+}
+
+// Flake returns a window that fails operations in [from, to) with a
+// connection error at the given rate — the intermittent-replica
+// schedule.
+func Flake(from, to int64, rate float64) Window {
+	return Window{From: from, To: to, Kind: ConnError, Rate: rate}
+}
+
+// NewSchedule returns an empty schedule; targets without windows see no
+// faults (but their operations are still counted).
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{seed: seed, targets: make(map[string]*targetState)}
+}
+
+// Set replaces the target's fault windows and resets its operation
+// counter and rand stream, so a schedule can be programmed in full
+// before the run it drives.
+func (s *Schedule) Set(target string, windows ...Window) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets[target] = &targetState{
+		windows: append([]Window(nil), windows...),
+		rng:     rand.New(rand.NewSource(targetSeed(s.seed, target))),
+	}
+}
+
+// targetSeed derives an independent, reproducible stream seed per
+// target name.
+func targetSeed(seed uint64, target string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, target)
+	return int64(h.Sum64())
+}
+
+// Decision is the fault applied to one operation.
+type Decision struct {
+	Kind    Kind
+	Latency time.Duration
+}
+
+// Next advances the target's operation counter and returns the fault
+// decision for that operation. Unknown targets are registered with no
+// windows, so counters stay comparable across runs.
+func (s *Schedule) Next(target string) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.targets[target]
+	if st == nil {
+		st = &targetState{rng: rand.New(rand.NewSource(targetSeed(s.seed, target)))}
+		s.targets[target] = st
+	}
+	op := st.ops
+	st.ops++
+	for _, w := range st.windows {
+		if op < w.From || (w.To > 0 && op >= w.To) {
+			continue
+		}
+		// Windows with a rate still consume one draw per in-window
+		// operation even when they decline to fire, so the stream
+		// position depends only on the operation index.
+		if w.Rate > 0 && w.Rate < 1 && st.rng.Float64() >= w.Rate {
+			continue
+		}
+		return Decision{Kind: w.Kind, Latency: w.Latency}
+	}
+	return Decision{Kind: None}
+}
+
+// Ops returns how many operations the target has performed.
+func (s *Schedule) Ops(target string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.targets[target]; st != nil {
+		return st.ops
+	}
+	return 0
+}
+
+// Targets returns the known target names, sorted.
+func (s *Schedule) Targets() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.targets))
+	for t := range s.targets {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,213 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// TestScheduleWindows pins the window semantics: [From, To) half-open,
+// To <= 0 open-ended, and untouched targets always None.
+func TestScheduleWindows(t *testing.T) {
+	s := NewSchedule(1)
+	s.Set("a", Kill(2, 4))
+	s.Set("b", Slow(0, 0, 5*time.Millisecond))
+
+	wantA := []Kind{None, None, ConnError, ConnError, None, None}
+	for i, want := range wantA {
+		if got := s.Next("a").Kind; got != want {
+			t.Errorf("a op %d = %s, want %s", i, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		d := s.Next("b")
+		if d.Kind != Latency || d.Latency != 5*time.Millisecond {
+			t.Errorf("b op %d = %+v, want open-ended latency window", i, d)
+		}
+	}
+	if got := s.Next("untouched").Kind; got != None {
+		t.Errorf("untouched target = %s, want none", got)
+	}
+	if ops := s.Ops("a"); ops != int64(len(wantA)) {
+		t.Errorf("Ops(a) = %d, want %d", ops, len(wantA))
+	}
+}
+
+// TestScheduleInterleavingIndependence is the property the cluster chaos
+// tests lean on: a target's fault sequence depends only on its own
+// operation index, not on how operations across targets interleave. The
+// same flake windows are replayed serially per target, round-robin, and
+// concurrently — and every target sees the same per-op decisions.
+func TestScheduleInterleavingIndependence(t *testing.T) {
+	targets := []string{"shard0/replica0", "shard0/replica1", "shard1/replica0"}
+	const ops = 200
+	build := func() *Schedule {
+		s := NewSchedule(99)
+		for _, tg := range targets {
+			s.Set(tg, Flake(10, 150, 0.4), Slow(150, 0, time.Microsecond))
+		}
+		return s
+	}
+	record := func(run func(s *Schedule, record func(target string, d Decision))) map[string][]Decision {
+		s := build()
+		var mu sync.Mutex
+		out := make(map[string][]Decision, len(targets))
+		run(s, func(target string, d Decision) {
+			mu.Lock()
+			out[target] = append(out[target], d)
+			mu.Unlock()
+		})
+		return out
+	}
+
+	serial := record(func(s *Schedule, rec func(string, Decision)) {
+		for _, tg := range targets {
+			for i := 0; i < ops; i++ {
+				rec(tg, s.Next(tg))
+			}
+		}
+	})
+	roundRobin := record(func(s *Schedule, rec func(string, Decision)) {
+		for i := 0; i < ops; i++ {
+			for _, tg := range targets {
+				rec(tg, s.Next(tg))
+			}
+		}
+	})
+	concurrent := record(func(s *Schedule, rec func(string, Decision)) {
+		var wg sync.WaitGroup
+		for _, tg := range targets {
+			wg.Add(1)
+			go func(tg string) {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					rec(tg, s.Next(tg))
+				}
+			}(tg)
+		}
+		wg.Wait()
+	})
+
+	fired := 0
+	for _, tg := range targets {
+		for i := 0; i < ops; i++ {
+			if serial[tg][i] != roundRobin[tg][i] || serial[tg][i] != concurrent[tg][i] {
+				t.Fatalf("%s op %d diverges across interleavings: serial %+v, round-robin %+v, concurrent %+v",
+					tg, i, serial[tg][i], roundRobin[tg][i], concurrent[tg][i])
+			}
+			if serial[tg][i].Kind == ConnError {
+				fired++
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("flake windows never fired; interleaving comparison proves nothing")
+	}
+
+	// Distinct targets must not share a stream: with 140 in-window ops at
+	// rate 0.4, identical sequences would mean the per-target seeding is
+	// broken.
+	same := true
+	for i := 10; i < 150; i++ {
+		if serial[targets[0]][i] != serial[targets[1]][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two targets drew identical flake sequences; streams are not per-target")
+	}
+}
+
+// TestComposedFlakyStoresReplay stacks two FlakyStore wrappers — an
+// outer transport-ish flake over an inner disk-ish flake — and replays
+// the composed tower twice from fixed seeds. The visible behaviour
+// (which ops fail, with which injected kind, and the surviving store
+// contents) must be identical run to run: composing injectors must not
+// entangle their streams.
+func TestComposedFlakyStoresReplay(t *testing.T) {
+	model, err := zoo.DenseResidualNet(zoo.Config{Name: "compose", Seed: 7, Width: 4, Depth: 1})
+	if err != nil {
+		t.Fatalf("zoo.DenseResidualNet: %v", err)
+	}
+
+	run := func() ([]string, int) {
+		inner, err := NewInjector(Config{Seed: 11, ServerErrorRate: 0.3})
+		if err != nil {
+			t.Fatalf("inner injector: %v", err)
+		}
+		outer, err := NewInjector(Config{Seed: 22, ConnErrorRate: 0.3})
+		if err != nil {
+			t.Fatalf("outer injector: %v", err)
+		}
+		store := NewFlakyStore(NewFlakyStore(repo.NewInMemory(), inner), outer)
+
+		var trace []string
+		for i := 0; i < 40; i++ {
+			m := model.Clone()
+			m.Version = fmt.Sprintf("1.0.%d", i)
+			_, err := store.Publish(m)
+			switch {
+			case err == nil:
+				trace = append(trace, "ok")
+			case errors.Is(err, ErrInjected):
+				trace = append(trace, err.Error())
+			default:
+				t.Fatalf("publish %d: unexpected non-injected error %v", i, err)
+			}
+		}
+		return trace, store.Len()
+	}
+
+	traceA, lenA := run()
+	traceB, lenB := run()
+	if len(traceA) != len(traceB) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(traceA), len(traceB))
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Fatalf("composed replay diverges at op %d: %q vs %q", i, traceA[i], traceB[i])
+		}
+	}
+	if lenA != lenB {
+		t.Fatalf("surviving store sizes diverge: %d vs %d", lenA, lenB)
+	}
+	failures := 0
+	for _, tr := range traceA {
+		if tr != "ok" {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(traceA) {
+		t.Fatalf("composed tower produced %d/%d failures; want a mix so both layers are exercised", failures, len(traceA))
+	}
+	if lenA != len(traceA)-failures {
+		t.Errorf("store holds %d models, want %d (successful publishes)", lenA, len(traceA)-failures)
+	}
+}
+
+// TestScheduleSetResets verifies Set replaces windows AND rewinds the
+// op counter and rand stream, so a schedule can be reprogrammed between
+// phases of one test run and still replay.
+func TestScheduleSetResets(t *testing.T) {
+	s := NewSchedule(5)
+	s.Set("x", Flake(0, 0, 0.5))
+	first := make([]Kind, 50)
+	for i := range first {
+		first[i] = s.Next("x").Kind
+	}
+	s.Set("x", Flake(0, 0, 0.5))
+	for i := range first {
+		if got := s.Next("x").Kind; got != first[i] {
+			t.Fatalf("after Set, op %d = %s, want %s (stream did not rewind)", i, got, first[i])
+		}
+	}
+	if got := s.Ops("x"); got != int64(len(first)) {
+		t.Errorf("Ops after reset replay = %d, want %d", got, len(first))
+	}
+}

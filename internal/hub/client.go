@@ -193,13 +193,7 @@ func (c *Client) registerGauges() {
 // timeOp returns a stop function recording the operation's latency and
 // outcome. Call the result with the operation's error.
 func (c *Client) timeOp(op string) func(error) {
-	stop := c.obs.Time("hub_client_" + op + "_ms")
-	return func(err error) {
-		stop()
-		if err != nil {
-			c.obs.Counter("hub_client_" + op + "_errors_total").Inc()
-		}
-	}
+	return c.obs.TimeOp("hub_client_" + op)
 }
 
 // Stats returns a snapshot of the resilience counters.
@@ -222,29 +216,44 @@ func (c *Client) modelURL(id string) string {
 	return c.base + "/v1/models/" + url.PathEscape(id)
 }
 
-// statusError is a non-2xx hub response; only 5xx codes are transient.
-type statusError struct {
-	code int
+// StatusError is a non-2xx hub response, exposed as a typed error so
+// callers — the cluster coordinator in particular — can branch on the
+// status code with errors.As instead of string matching. Only 5xx
+// codes are transient.
+type StatusError struct {
+	// Code is the HTTP status code the hub answered with.
+	Code int
 	msg  string
 }
 
-func (e *statusError) Error() string { return e.msg }
+func (e *StatusError) Error() string { return e.msg }
+
+// ErrAttemptTimeout is wrapped by attempt failures caused by the
+// client's own per-attempt timeout — as opposed to the caller's context
+// expiring, which surfaces as the caller's context error. The
+// distinction is what lets a scatter-gather coordinator treat a slow
+// replica (fail over to the next one) differently from its own query
+// deadline (stop asking anyone).
+var ErrAttemptTimeout = errors.New("hub: attempt timed out")
 
 // retryable reports whether an attempt failure is worth retrying: all
 // transport and body-corruption errors are presumed transient, and so
 // are 5xx responses; any other status means the hub answered
 // deliberately.
 func retryable(err error) bool {
-	var se *statusError
+	var se *StatusError
 	if errors.As(err, &se) {
-		return se.code >= 500
+		return se.Code >= 500
 	}
 	return true
 }
 
 // do runs one logical operation against the hub through the breaker and
 // (for idempotent operations) the retry loop. build must return a fresh
-// request per attempt; handle consumes the response.
+// request per attempt; a request built with NewRequestWithContext
+// threads the caller's context through every attempt — cancellation
+// aborts the backoff sleep and stops further retries. handle consumes
+// the response.
 func (c *Client) do(idempotent bool, build func() (*http.Request, error), handle func(*http.Response) error) error {
 	if err := c.breaker.allow(); err != nil {
 		return err
@@ -255,11 +264,20 @@ func (c *Client) do(idempotent bool, build func() (*http.Request, error), handle
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		parent := req.Context()
 		if i > 0 {
 			c.retryCount.Add(1)
-			time.Sleep(backoff(c.backoffBase, c.backoffMax, i))
+			if err := sleepCtx(parent, backoff(c.backoffBase, c.backoffMax, i)); err != nil {
+				// The caller gave up between attempts; that is their
+				// deadline, not a hub failure.
+				return fmt.Errorf("%v (retry aborted: %w)", lastErr, err)
+			}
 		}
-		err := c.doOnce(build, handle)
+		err = c.doOnce(req, handle)
 		if err == nil {
 			c.breaker.success()
 			return nil
@@ -270,24 +288,55 @@ func (c *Client) do(idempotent bool, build func() (*http.Request, error), handle
 			c.breaker.success()
 			return err
 		}
+		if parent.Err() != nil {
+			// Caller cancellation mid-flight: stop retrying and leave
+			// the breaker out of it.
+			return lastErr
+		}
 	}
 	c.breaker.failure()
 	return lastErr
 }
 
-func (c *Client) doOnce(build func() (*http.Request, error), handle func(*http.Response) error) error {
-	req, err := build()
-	if err != nil {
+// doOnce runs one attempt under the per-attempt timeout. A failure
+// caused by that timeout — rather than by the request's own context —
+// is wrapped in ErrAttemptTimeout so callers can tell "this hub is
+// slow" from "I am out of time".
+func (c *Client) doOnce(req *http.Request, handle func(*http.Response) error) error {
+	parent := req.Context()
+	ctx, cancel := context.WithTimeout(parent, c.timeout)
+	defer cancel()
+	attemptTimedOut := func(err error) error {
+		if ctx.Err() != nil && parent.Err() == nil {
+			return fmt.Errorf("%w after %v: %w", ErrAttemptTimeout, c.timeout, err)
+		}
 		return err
 	}
-	ctx, cancel := context.WithTimeout(req.Context(), c.timeout)
-	defer cancel()
 	resp, err := c.http.Do(req.WithContext(ctx))
 	if err != nil {
-		return err
+		return attemptTimedOut(err)
 	}
 	defer resp.Body.Close()
-	return handle(resp)
+	if err := handle(resp); err != nil {
+		// Body reads run under the same attempt deadline.
+		return attemptTimedOut(err)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // backoff returns the sleep before retry attempt k (1-based):
@@ -312,9 +361,43 @@ func buildGet(urlStr string) func() (*http.Request, error) {
 
 func expectStatus(resp *http.Response, want int) error {
 	if resp.StatusCode != want {
-		return &statusError{code: resp.StatusCode, msg: readError(resp)}
+		return &StatusError{Code: resp.StatusCode, msg: readError(resp)}
 	}
 	return nil
+}
+
+// Query runs a Sommelier query on the hub's /v1/query endpoint and
+// returns the raw results payload. Queries are idempotent GETs, so the
+// full retry/breaker machinery applies; ctx bounds the whole operation
+// (each attempt additionally carries the per-attempt timeout, and a
+// per-attempt expiry is reported as ErrAttemptTimeout). This is the
+// per-shard call a cluster coordinator fans out.
+func (c *Client) Query(ctx context.Context, q string) (_ json.RawMessage, err error) {
+	done := c.timeOp("query")
+	defer func() { done(err) }()
+	queryURL := c.base + "/v1/query?q=" + url.QueryEscape(q)
+	var raw json.RawMessage
+	err = c.do(true,
+		func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, queryURL, nil)
+		},
+		func(resp *http.Response) error {
+			if err := expectStatus(resp, http.StatusOK); err != nil {
+				return err
+			}
+			var wire struct {
+				Results json.RawMessage `json:"results"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+				return err
+			}
+			raw = wire.Results
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("hub: query: %w", err)
+	}
+	return raw, nil
 }
 
 // Publish uploads a model and returns its hub ID. Publishes are not

@@ -88,6 +88,14 @@ func WithQuerier(q Querier) ServerOption {
 	return func(s *Server) { s.querier = q }
 }
 
+// WithShardInfo declares the server's place in a shard cluster: this
+// node serves shard `shard` of `shards`. The identity is reported in
+// /v1/healthz so coordinators and operators can confirm a node serves
+// the partition they think it does before routing traffic at it.
+func WithShardInfo(shard, shards int) ServerOption {
+	return func(s *Server) { s.shard, s.shards = shard, shards }
+}
+
 // WithServerObserver attaches an observability handle: every endpoint
 // records a request counter and latency histogram through it
 // (hub_<op>_requests_total / hub_<op>_errors_total / hub_<op>_ms, for
@@ -107,6 +115,9 @@ type Server struct {
 	indexer Indexer
 	querier Querier
 	obs     *obs.Observer
+	// shard/shards identify this node's partition when it runs as part
+	// of a cluster; shards == 0 means standalone.
+	shard, shards int
 }
 
 // NewServer wraps a repository.
@@ -176,11 +187,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	health := map[string]any{
 		"status": "ok",
 		"models": s.store.Len(),
-	})
+	}
+	if s.shards > 0 {
+		health["shard"] = s.shard
+		health["shards"] = s.shards
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(health)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,7 @@ var DetCheck = &Analyzer{
 // output must be reproducible (ISSUE 3 / DESIGN.md invariants).
 var detPackages = map[string]bool{
 	"catalog": true,
+	"cluster": true,
 	"index":   true,
 	"equiv":   true,
 	"lsh":     true,

@@ -167,6 +167,25 @@ func (o *Observer) Time(hist string) func() float64 {
 	}
 }
 
+// TimeOp times one logical operation into the <prefix>_ms histogram
+// and counts failed ones into <prefix>_errors_total. Call the returned
+// stop function with the operation's final error — the pattern every
+// instrumented client op (hub, cluster) shares:
+//
+//	done := o.TimeOp("hub_client_load")
+//	defer func() { done(err) }()
+//
+// A nil observer returns a no-op stop.
+func (o *Observer) TimeOp(prefix string) func(error) {
+	stop := o.Time(prefix + "_ms")
+	return func(err error) {
+		stop()
+		if err != nil {
+			o.Counter(prefix + "_errors_total").Inc()
+		}
+	}
+}
+
 // spanCtxKey carries the current span ID through a context.
 type spanCtxKey struct{}
 

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestTimeOp covers the operation-timing helper the hub client and the
+// cluster coordinator share: one call times <prefix>_ms always and
+// counts <prefix>_errors_total only on failure.
+func TestTimeOp(t *testing.T) {
+	o := New(WithClock(NewTickClock(0, 1e6))) // 1ms per reading
+	done := o.TimeOp("op")
+	done(nil)
+	done = o.TimeOp("op")
+	done(errors.New("boom"))
+
+	snap := o.Snapshot()
+	if h := snap.Histograms["op_ms"]; h.Count != 2 {
+		t.Errorf("op_ms count = %d, want 2 (success and failure both timed)", h.Count)
+	}
+	if c := snap.Counters["op_errors_total"]; c != 1 {
+		t.Errorf("op_errors_total = %d, want 1", c)
+	}
+}
+
+// TestTimeOpNilObserver: the helper must be inert, not panic, on a nil
+// observer — callers thread optional observers straight through.
+func TestTimeOpNilObserver(t *testing.T) {
+	var o *Observer
+	done := o.TimeOp("op")
+	done(errors.New("boom"))
+	done(nil) // double-call on nil must also be harmless
+}

@@ -2,6 +2,7 @@ package sommelier
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -13,6 +14,14 @@ import (
 	"sommelier/internal/query"
 	"sommelier/internal/resource"
 )
+
+// ErrUnknownReference is wrapped by query errors whose cause is that
+// this engine's catalog does not hold the query's reference model (or
+// holds no default reference for the task). In a sharded deployment
+// that is an expected per-shard condition, not a failure: a scatter
+// coordinator checks for it with errors.Is and records an empty
+// contribution from the shard.
+var ErrUnknownReference = errors.New("sommelier: reference model not in this catalog")
 
 // QueryContext parses and executes a query string. The whole query —
 // parse → candidates → filter → rank — is traced as one span tree and
@@ -70,13 +79,13 @@ func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error)
 		id, ok := snap.DefaultReference(q.Task)
 		if !ok {
 			e.obs.Counter("query_errors_total").Inc()
-			return nil, fmt.Errorf("sommelier: no default reference for task %q", q.Task)
+			return nil, fmt.Errorf("%w: no default reference for task %q", ErrUnknownReference, q.Task)
 		}
 		refID = id
 	}
 	if !snap.Contains(refID) {
 		e.obs.Counter("query_errors_total").Inc()
-		return nil, fmt.Errorf("sommelier: reference model %q is not indexed", refID)
+		return nil, fmt.Errorf("%w: %q is not indexed", ErrUnknownReference, refID)
 	}
 	refProf, ok := snap.Profile(refID)
 	if !ok {
