@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check bench chaos
+.PHONY: build test race vet lint check bench benchdiff chaos
 
 build:
 	$(GO) build ./...
@@ -25,21 +25,31 @@ race:
 lint:
 	$(GO) run ./cmd/sommlint ./...
 
-# check is the CI gate: vet, then sommlint, then the race-detector run.
-# lint sits before race because it is ~100x cheaper and catches the
-# invariant violations race can only hope to trip over.
-check: vet lint race
+# check is the CI gate: vet, then sommlint, then the race-detector run,
+# then the benchmark-baseline diff. lint sits before race because it is
+# ~100x cheaper and catches the invariant violations race can only hope
+# to trip over; benchdiff last because it only compares JSON already on
+# disk (regenerate with `make bench` to compare fresh numbers).
+check: vet lint race benchdiff
 
 # bench runs the Go micro-benchmarks, then the serial-vs-parallel
-# indexing benchmark, the query-latency benchmark, and the cluster
-# scatter-gather load harness, leaving their machine-readable results
-# in BENCH_index.json, BENCH_query.json and BENCH_cluster.json
-# (latency percentiles come from the *_ms histograms).
+# indexing benchmark, the query-latency benchmark, the cluster
+# scatter-gather load harness, and the content-addressed storage
+# harness, leaving their machine-readable results in BENCH_index.json,
+# BENCH_query.json, BENCH_cluster.json and BENCH_store.json (latency
+# percentiles come from the *_ms histograms).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/sommbench -exp indexbench -index-out BENCH_index.json
 	$(GO) run ./cmd/sommbench -exp querybench -query-out BENCH_query.json
 	$(GO) run ./cmd/sommbench -exp clusterbench -cluster-out BENCH_cluster.json
+	$(GO) run ./cmd/sommbench -exp storebench -store-out BENCH_store.json
+
+# benchdiff fails when a freshly generated BENCH_*.json shows a p95
+# latency more than 20% (and more than a noise floor) worse than the
+# committed baseline. Skips files with no committed baseline.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # chaos runs the seeded fault-schedule matrix under the race detector:
 # every TestChaos* case in internal/cluster (replica kill mid-query,

@@ -1,0 +1,149 @@
+// Command benchdiff guards the committed benchmark baselines: it
+// compares the BENCH_*.json files on disk (fresh results when `make
+// bench` just ran) against the versions committed at a git ref
+// (default HEAD) and fails when any p95 latency regressed by more than
+// the threshold. Tiny absolute movements below the noise floor never
+// fail, so sub-millisecond jitter cannot break CI.
+//
+//	benchdiff                       # every BENCH_*.json vs HEAD
+//	benchdiff -threshold 0.1 BENCH_store.json
+//	benchdiff -base origin/main
+//
+// A file with no committed baseline (or no working-tree copy) is
+// reported and skipped — first-time benchmarks are not regressions.
+// Stdlib only; git is invoked for the baseline bytes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.20, "relative p95 regression that fails (0.20 = +20%)")
+		floor     = flag.Float64("floor-ms", 0.25, "absolute p95 growth (ms) below which a regression is noise")
+		base      = flag.String("base", "HEAD", "git ref holding the baseline files")
+	)
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil || len(files) == 0 {
+			fmt.Println("benchdiff: no BENCH_*.json files to compare")
+			return
+		}
+		sort.Strings(files)
+	}
+
+	failed := false
+	for _, file := range files {
+		fresh, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Printf("benchdiff: %s: skipped (no working-tree copy: %v)\n", file, err)
+			continue
+		}
+		baseline, err := exec.Command("git", "show", *base+":"+file).Output()
+		if err != nil {
+			fmt.Printf("benchdiff: %s: skipped (no baseline at %s)\n", file, *base)
+			continue
+		}
+		regs, notes, err := diff(baseline, fresh, *threshold, *floor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", file, err)
+			failed = true
+			continue
+		}
+		for _, n := range notes {
+			fmt.Printf("benchdiff: %s: note: %s\n", file, n)
+		}
+		if len(regs) == 0 {
+			fmt.Printf("benchdiff: %s: ok\n", file)
+			continue
+		}
+		failed = true
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: REGRESSION %s\n", file, r)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// diff compares every p95 latency leaf shared by the two JSON
+// documents. A leaf regresses when it grew by more than threshold
+// relatively AND more than floorMs absolutely. Leaves present on only
+// one side (a benchmark gained or lost a stage) are notes, not
+// failures.
+func diff(baseline, fresh []byte, threshold, floorMs float64) (regressions, notes []string, err error) {
+	var bdoc, fdoc any
+	if err := json.Unmarshal(baseline, &bdoc); err != nil {
+		return nil, nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(fresh, &fdoc); err != nil {
+		return nil, nil, fmt.Errorf("fresh: %w", err)
+	}
+	bp, fp := map[string]float64{}, map[string]float64{}
+	p95Leaves(bdoc, "", bp)
+	p95Leaves(fdoc, "", fp)
+
+	keys := make([]string, 0, len(bp)+len(fp))
+	for k := range bp {
+		keys = append(keys, k)
+	}
+	for k := range fp {
+		if _, ok := bp[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, inB := bp[k]
+		f, inF := fp[k]
+		switch {
+		case !inB:
+			notes = append(notes, fmt.Sprintf("%s: no baseline value (%.3fms fresh)", k, f))
+		case !inF:
+			notes = append(notes, fmt.Sprintf("%s: dropped from fresh results (%.3fms baseline)", k, b))
+		case f > b*(1+threshold) && f-b > floorMs:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3fms -> %.3fms (+%.0f%%, threshold +%.0f%%)",
+					k, b, f, 100*(f-b)/b, 100*threshold))
+		}
+	}
+	return regressions, notes, nil
+}
+
+// p95Leaves walks a decoded JSON document collecting every numeric
+// leaf whose key ends in "p95_ms", keyed by its dotted path. Array
+// elements are keyed by index; every benchmark writer emits arrays in
+// a stable order, so positions are comparable across runs.
+func p95Leaves(v any, path string, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			if f, ok := child.(float64); ok && strings.HasSuffix(k, "p95_ms") {
+				out[p] = f
+				continue
+			}
+			p95Leaves(child, p, out)
+		}
+	case []any:
+		for i, child := range t {
+			p95Leaves(child, fmt.Sprintf("%s[%d]", path, i), out)
+		}
+	}
+}

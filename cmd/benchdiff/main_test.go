@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseDoc = `{
+  "models": 32,
+  "publish_ms": {"count": 32, "p50_ms": 0.8, "p95_ms": 2.0, "p99_ms": 3.0},
+  "stages": [
+    {"stage": "parse", "p95_ms": 1.0},
+    {"stage": "rank", "p95_ms": 4.0}
+  ]
+}`
+
+func TestDiffCleanWhenWithinThreshold(t *testing.T) {
+	fresh := `{
+  "models": 32,
+  "publish_ms": {"count": 32, "p50_ms": 9.9, "p95_ms": 2.3, "p99_ms": 9.9},
+  "stages": [
+    {"stage": "parse", "p95_ms": 1.1},
+    {"stage": "rank", "p95_ms": 3.0}
+  ]
+}`
+	regs, notes, err := diff([]byte(baseDoc), []byte(fresh), 0.20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// publish p95 +15%, parse +10%, rank improved; p50/p99 ignored.
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+func TestDiffFlagsP95Regression(t *testing.T) {
+	fresh := strings.Replace(baseDoc, `"p95_ms": 4.0`, `"p95_ms": 5.5`, 1)
+	regs, _, err := diff([]byte(baseDoc), []byte(fresh), 0.20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "stages[1].p95_ms") {
+		t.Fatalf("regressions = %v, want exactly the rank-stage p95", regs)
+	}
+}
+
+func TestDiffFloorSuppressesNoise(t *testing.T) {
+	base := `{"load_ms": {"p95_ms": 0.10}}`
+	fresh := `{"load_ms": {"p95_ms": 0.30}}` // +200% but +0.2ms
+	regs, _, err := diff([]byte(base), []byte(fresh), 0.20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-floor jitter flagged: %v", regs)
+	}
+}
+
+func TestDiffNotesShapeChanges(t *testing.T) {
+	fresh := `{
+  "publish_ms": {"p95_ms": 2.0},
+  "hydrate_ms": {"p95_ms": 1.0}
+}`
+	regs, notes, err := diff([]byte(baseDoc), []byte(fresh), 0.20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("shape changes are notes, got regressions: %v", regs)
+	}
+	joined := strings.Join(notes, "\n")
+	if !strings.Contains(joined, "hydrate_ms.p95_ms: no baseline") {
+		t.Fatalf("new leaf not noted: %v", notes)
+	}
+	if !strings.Contains(joined, "stages[0].p95_ms: dropped") {
+		t.Fatalf("dropped leaf not noted: %v", notes)
+	}
+}
+
+func TestDiffRejectsGarbage(t *testing.T) {
+	if _, _, err := diff([]byte("{"), []byte("{}"), 0.2, 0.25); err == nil {
+		t.Fatal("truncated baseline accepted")
+	}
+	if _, _, err := diff([]byte("{}"), []byte("nope"), 0.2, 0.25); err == nil {
+		t.Fatal("garbage fresh file accepted")
+	}
+}

@@ -34,10 +34,11 @@ type runner struct {
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (fig3,fig9a,fig9b,fig9c,fig10,fig11,fig12a,fig12b,fig13,table1,table2,table3,table4,ablations,indexbench,querybench,clusterbench) or 'all'")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (fig3,fig9a,fig9b,fig9c,fig10,fig11,fig12a,fig12b,fig13,table1,table2,table3,table4,ablations,indexbench,querybench,clusterbench,storebench) or 'all'")
 		indexOut    = flag.String("index-out", "", "write the indexbench result as JSON to this file")
 		queryOut    = flag.String("query-out", "", "write the querybench result as JSON to this file")
 		clusterOut  = flag.String("cluster-out", "", "write the clusterbench result as JSON to this file")
+		storeOut    = flag.String("store-out", "", "write the storebench result as JSON to this file")
 		table2Scale = flag.Float64("table2scale", 0.02, "fraction of the paper's model sizes for table2 (1.0 = full 62M..340M parameters)")
 		fig13Full   = flag.Bool("fig13full", false, "run fig13 on the full 30-series/163-model catalog")
 		seed        = flag.Uint64("seed", 2022, "base random seed")
@@ -178,6 +179,25 @@ func main() {
 					return nil, err
 				}
 				fmt.Printf("wrote %s\n", *clusterOut)
+			}
+			return r.Report(), nil
+		}},
+		{"storebench", func() (fmt.Stringer, error) {
+			cfg := experiments.DefaultStoreBenchConfig()
+			cfg.Seed = *seed
+			r, err := experiments.RunStoreBench(context.Background(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *storeOut != "" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*storeOut, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Printf("wrote %s\n", *storeOut)
 			}
 			return r.Report(), nil
 		}},

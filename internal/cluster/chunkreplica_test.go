@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"sommelier/internal/cas"
+	"sommelier/internal/faults"
+	"sommelier/internal/graph"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// denseReplica is a minimal store-backed Replica with no chunk surface,
+// counting dense publishes.
+type denseReplica struct {
+	store *repo.Repository
+	dense atomic.Int64
+}
+
+func newDenseReplica() *denseReplica { return &denseReplica{store: repo.NewInMemory()} }
+
+func (d *denseReplica) Query(ctx context.Context, q string) ([]Result, error) { return nil, nil }
+func (d *denseReplica) Publish(ctx context.Context, m *graph.Model) (string, error) {
+	d.dense.Add(1)
+	return d.store.Publish(m)
+}
+func (d *denseReplica) Load(ctx context.Context, id string) (*graph.Model, error) {
+	return d.store.Load(id)
+}
+func (d *denseReplica) List(ctx context.Context) ([]repo.Metadata, error) {
+	return d.store.List(), nil
+}
+func (d *denseReplica) Delete(ctx context.Context, id string) error { return d.store.Delete(id) }
+func (d *denseReplica) Rebuild(ctx context.Context) error           { return nil }
+
+// chunkStubReplica adds the chunk surface, counting chunked publishes.
+type chunkStubReplica struct {
+	denseReplica
+	chunked atomic.Int64
+}
+
+func newChunkStubReplica() *chunkStubReplica {
+	return &chunkStubReplica{denseReplica: denseReplica{store: repo.NewInMemory()}}
+}
+
+func (c *chunkStubReplica) PublishEncoded(ctx context.Context, enc *cas.Encoded) (string, error) {
+	c.chunked.Add(1)
+	return c.store.PublishEncoded(enc)
+}
+
+func chunkTestModel(t *testing.T) *graph.Model {
+	t.Helper()
+	m, err := zoo.DenseResidualNet(zoo.Config{Name: "ckr", Seed: 7, Width: 16, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Version = "1"
+	return m
+}
+
+// TestPublishPrefersChunkReplica: replication routes each replica copy
+// through the chunk protocol when the replica speaks it and falls back
+// to a dense publish when it does not — in the same shard, from one
+// shared encoding.
+func TestPublishPrefersChunkReplica(t *testing.T) {
+	chunked := newChunkStubReplica()
+	plain := newDenseReplica()
+	c, err := NewCluster([][]Replica{{chunked, plain}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := chunkTestModel(t)
+	id, err := c.Publish(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chunked.chunked.Load(); got != 1 {
+		t.Fatalf("chunk replica saw %d chunked publishes, want 1", got)
+	}
+	if got := chunked.dense.Load(); got != 0 {
+		t.Fatalf("chunk replica saw %d dense publishes, want 0", got)
+	}
+	if got := plain.dense.Load(); got != 1 {
+		t.Fatalf("plain replica saw %d dense publishes, want 1", got)
+	}
+	for _, r := range []*repo.Repository{chunked.store, plain.store} {
+		got, err := r.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != m.Fingerprint() {
+			t.Fatal("replicated model does not match the original")
+		}
+	}
+}
+
+// TestFaultyReplicaChunkFaultAccounting: a chunked publish through
+// FaultyReplica draws exactly one scheduled fault — the same accounting
+// as a dense publish, so chaos fault windows stay aligned — and
+// delegates to the inner chunk surface; over a plain inner replica it
+// degrades to a dense publish.
+func TestFaultyReplicaChunkFaultAccounting(t *testing.T) {
+	enc, err := cas.Encode(chunkTestModel(t), "", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner := newChunkStubReplica()
+	sched := faults.NewSchedule(1)
+	sched.Set(Target(0, 0), faults.Kill(0, 0)) // first op faulted, rest pass
+	fr := NewFaultyReplica(inner, Target(0, 0), sched)
+	if _, err := fr.PublishEncoded(context.Background(), enc); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("scheduled fault not injected: %v", err)
+	}
+	if got := inner.chunked.Load(); got != 0 {
+		t.Fatalf("fault did not stop the publish: %d chunked publishes", got)
+	}
+
+	plain := newDenseReplica()
+	fp := NewFaultyReplica(plain, Target(0, 1), faults.NewSchedule(1))
+	if _, err := fp.PublishEncoded(context.Background(), enc); err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.dense.Load(); got != 1 {
+		t.Fatalf("plain inner saw %d dense publishes, want 1 (chunk fallback)", got)
+	}
+}
+
+// TestRepairUsesChunkPath: anti-entropy copies ride the chunk protocol
+// to chunk-capable replicas.
+func TestRepairUsesChunkPath(t *testing.T) {
+	holder := newChunkStubReplica()
+	missing := newChunkStubReplica()
+	c, err := NewCluster([][]Replica{{holder, missing}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := chunkTestModel(t)
+	if _, err := holder.store.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Repair(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Copies != 1 {
+		t.Fatalf("repair made %d copies, want 1", report.Copies)
+	}
+	if got := missing.chunked.Load(); got != 1 {
+		t.Fatalf("repair used %d chunked publishes on the missing replica, want 1", got)
+	}
+	if got := missing.dense.Load(); got != 0 {
+		t.Fatalf("repair fell back to %d dense publishes, want 0", got)
+	}
+	if _, err := missing.store.Load("ckr@1"); err != nil {
+		t.Fatal(err)
+	}
+}

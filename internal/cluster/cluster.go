@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"sommelier/internal/cas"
 	"sommelier/internal/graph"
 	"sommelier/internal/obs"
 	"sommelier/internal/repo"
@@ -126,15 +127,29 @@ func (c *Cluster) topology() (*Ring, [][]Replica) {
 	return c.ring, c.shards
 }
 
+// encodeOnce chunk-encodes a model for replication. The encoding is
+// computed once per logical write and shared by every replica copy;
+// chunk-capable replicas then receive only the chunks they are missing.
+// A nil return (encoding failed) downgrades every copy to the dense
+// path rather than failing the write.
+func encodeOnce(m *graph.Model) *cas.Encoded {
+	enc, err := cas.Encode(m, "", nil, 0)
+	if err != nil {
+		return nil
+	}
+	return enc
+}
+
 // publishTo writes the model to every replica of one shard.
 // At least one accepting replica makes the write durable; fewer than
-// all yields a *PartialWriteError.
-func (c *Cluster) publishTo(ctx context.Context, shard int, reps []Replica, m *graph.Model) (string, error) {
+// all yields a *PartialWriteError. enc is the shared chunk encoding
+// (nil to force dense transfer).
+func (c *Cluster) publishTo(ctx context.Context, shard int, reps []Replica, m *graph.Model, enc *cas.Encoded) (string, error) {
 	id := m.Name + "@" + m.Version
 	accepted := 0
 	var errs map[string]error
 	for r, rep := range reps {
-		if _, err := rep.Publish(ctx, m); err != nil {
+		if _, err := publishReplica(ctx, rep, m, enc); err != nil {
 			if errs == nil {
 				errs = make(map[string]error)
 			}
@@ -166,7 +181,7 @@ func (c *Cluster) Publish(ctx context.Context, m *graph.Model) (string, error) {
 	c.obs.Counter("cluster_publish_total").Inc()
 	id := m.Name + "@" + m.Version
 	shard := ring.ShardFor(PlacementKey(id, seriesOf(m)))
-	return c.publishTo(ctx, shard, shards[shard], m)
+	return c.publishTo(ctx, shard, shards[shard], m, encodeOnce(m))
 }
 
 // Broadcast writes the model to every replica of every shard — the
@@ -180,10 +195,11 @@ func (c *Cluster) Broadcast(ctx context.Context, m *graph.Model) (string, error)
 	_, shards := c.topology()
 	c.obs.Counter("cluster_publish_total").Inc()
 	id := m.Name + "@" + m.Version
+	enc := encodeOnce(m)
 	accepted := 0
 	var errs map[string]error
 	for s, reps := range shards {
-		_, err := c.publishTo(ctx, s, reps, m)
+		_, err := c.publishTo(ctx, s, reps, m, enc)
 		var pw *PartialWriteError
 		switch {
 		case err == nil:
@@ -339,6 +355,7 @@ func (c *Cluster) Repair(ctx context.Context) (*RepairReport, error) {
 		sort.Strings(ids)
 		for _, id := range ids {
 			var m *graph.Model
+			var enc *cas.Encoded
 			for r := range reps {
 				if have[r][id] {
 					continue
@@ -349,8 +366,9 @@ func (c *Cluster) Repair(ctx context.Context) (*RepairReport, error) {
 						return rep, fmt.Errorf("cluster: repair shard %d: loading %s from %s: %w",
 							s, id, Target(s, source[id]), err)
 					}
+					enc = encodeOnce(m)
 				}
-				if _, err := reps[r].Publish(ctx, m); err != nil {
+				if _, err := publishReplica(ctx, reps[r], m, enc); err != nil {
 					rep.Failed = append(rep.Failed, Target(s, r)+":"+id)
 					continue
 				}
@@ -459,8 +477,9 @@ func (c *Cluster) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 		// goes away. A refused copy aborts the move and rolls the
 		// already-accepted copies back, so a half-moved model cannot be
 		// mistaken for a broadcast one on the next pass.
+		enc := encodeOnce(m)
 		for r, replica := range shards[want] {
-			if _, err := replica.Publish(ctx, m); err != nil {
+			if _, err := publishReplica(ctx, replica, m, enc); err != nil {
 				for rb := 0; rb < r; rb++ {
 					if derr := shards[want][rb].Delete(ctx, id); derr != nil && !errors.Is(derr, repo.ErrNotFound) {
 						return rep, fmt.Errorf("cluster: rebalance: moving %s to %s: %w; rollback from %s also failed: %v (model retained on shard %d)",

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sommelier/internal/cas"
 	"sommelier/internal/graph"
 	"sommelier/internal/hub"
 	"sommelier/internal/repo"
@@ -51,6 +52,19 @@ func (r *HTTPReplica) Publish(ctx context.Context, m *graph.Model) (string, erro
 		return "", err
 	}
 	return r.client.Publish(m)
+}
+
+// PublishEncoded uploads the model through the hub's chunk-negotiation
+// protocol, shipping only the chunks the remote shard is missing. The
+// hub client itself falls back to a whole-model upload against hubs
+// that cannot negotiate, so this never fails merely for lack of
+// protocol support.
+func (r *HTTPReplica) PublishEncoded(ctx context.Context, enc *cas.Encoded) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	id, _, err := r.client.PublishEncoded(enc)
+	return id, err
 }
 
 // Load fetches a model, mapping the remote 404 onto repo.ErrNotFound

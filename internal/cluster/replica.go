@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sommelier/internal/cas"
 	"sommelier/internal/faults"
 	"sommelier/internal/graph"
 	"sommelier/internal/repo"
@@ -35,6 +36,27 @@ type Replica interface {
 	// the post-rebalance step that drops index entries for moved-away
 	// models.
 	Rebuild(ctx context.Context) error
+}
+
+// ChunkReplica is the optional chunk-transfer surface a Replica may
+// implement. Replication then ships a model encoded once as manifest +
+// chunks, and each receiver stores (or transfers) only the chunks it is
+// missing — a fine-tuned series replicates at the cost of its unique
+// tensors. A single method keeps fault accounting identical to Publish:
+// one replica-publish, one fault draw.
+type ChunkReplica interface {
+	// PublishEncoded stores and indexes the already-chunked model.
+	PublishEncoded(ctx context.Context, enc *cas.Encoded) (string, error)
+}
+
+// publishReplica writes a model to one replica, preferring the chunk
+// path when both sides can speak it. enc is the lazily-computed shared
+// encoding; nil means encoding failed and the dense path is used.
+func publishReplica(ctx context.Context, rep Replica, m *graph.Model, enc *cas.Encoded) (string, error) {
+	if cr, ok := rep.(ChunkReplica); ok && enc != nil {
+		return cr.PublishEncoded(ctx, enc)
+	}
+	return rep.Publish(ctx, m)
 }
 
 // Backends converts a cluster's replica topology to the query-only view
@@ -108,6 +130,20 @@ func (f *FaultyReplica) Publish(ctx context.Context, m *graph.Model) (string, er
 		return "", err
 	}
 	return f.inner.Publish(ctx, m)
+}
+
+// PublishEncoded applies the schedule — one draw, exactly like a dense
+// Publish, so chaos fault windows count replica-publishes identically —
+// then delegates, falling back to a dense publish when the inner
+// replica cannot take chunks.
+func (f *FaultyReplica) PublishEncoded(ctx context.Context, enc *cas.Encoded) (string, error) {
+	if err := f.fault(ctx, "publish"); err != nil {
+		return "", err
+	}
+	if cr, ok := f.inner.(ChunkReplica); ok {
+		return cr.PublishEncoded(ctx, enc)
+	}
+	return f.inner.Publish(ctx, enc.Model)
 }
 
 // Load applies the schedule, then delegates.

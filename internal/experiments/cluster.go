@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"sommelier"
+	"sommelier/internal/cas"
 	"sommelier/internal/cluster"
 	"sommelier/internal/graph"
 	"sommelier/internal/obs"
@@ -78,6 +79,32 @@ func (r *EngineReplica) Publish(ctx context.Context, m *graph.Model) (string, er
 	_, existed := r.store.Metadata(id)
 	if _, err := r.store.Publish(m); err != nil {
 		return "", err
+	}
+	if err := r.eng.IndexModel(ctx, id, m); err != nil {
+		if !existed {
+			_ = r.store.Delete(id)
+		}
+		return "", fmt.Errorf("indexing %q: %w", id, err)
+	}
+	return id, nil
+}
+
+// PublishEncoded stores an already-chunked model. The replica's store
+// deduplicates against chunks it already holds — replicating a
+// fine-tuned series costs each replica only the series' unique tensors
+// — with the same rollback-on-index-failure rule as Publish.
+func (r *EngineReplica) PublishEncoded(ctx context.Context, enc *cas.Encoded) (string, error) {
+	id := enc.Manifest.ID()
+	_, existed := r.store.Metadata(id)
+	if _, err := r.store.PublishEncoded(enc); err != nil {
+		return "", err
+	}
+	m := enc.Model
+	if m == nil {
+		var err error
+		if m, err = r.store.Load(id); err != nil {
+			return "", err
+		}
 	}
 	if err := r.eng.IndexModel(ctx, id, m); err != nil {
 		if !existed {

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+
+	"sommelier/internal/cas"
+	"sommelier/internal/graph"
+	"sommelier/internal/hub"
+	"sommelier/internal/obs"
+	"sommelier/internal/repo"
+	"sommelier/internal/zoo"
+)
+
+// StoreBenchConfig scales the content-addressed storage harness: a
+// fine-tuned model series (one base, Models-1 derived variants mixing
+// frozen-trunk transfers, lightly tuned transfers, and sparse edits) is
+// published into a disk-backed repository and across a hub wire, and
+// the chunk layer's dedup is measured against the whole-model baseline
+// the pre-chunking stack paid.
+type StoreBenchConfig struct {
+	// Models is the series length, base included.
+	Models       int
+	Width, Depth int
+	// HeadClasses sizes each transfer variant's fresh classifier head.
+	HeadClasses int
+	// Edits is the per-layer element count of each sparse-edit variant.
+	Edits int
+	Seed  uint64
+}
+
+// DefaultStoreBenchConfig is a 32-model fine-tuned series.
+func DefaultStoreBenchConfig() StoreBenchConfig {
+	return StoreBenchConfig{Models: 32, Width: 48, Depth: 3, HeadClasses: 8, Edits: 8, Seed: 2022}
+}
+
+// LatencyDigest is one operation's latency summary.
+type LatencyDigest struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// StoreBenchResult is the harness report; the JSON form is what
+// `make bench` writes to BENCH_store.json.
+type StoreBenchResult struct {
+	Models int `json:"models"`
+	// BaselineBytes is the series' whole-model storage cost: each
+	// model's chunk payload counted standalone, no cross-model sharing.
+	BaselineBytes int64 `json:"baseline_bytes"`
+	// StoredBytes is what the shared chunk store actually holds.
+	StoredBytes       int64   `json:"stored_chunk_bytes"`
+	StorageDedupRatio float64 `json:"storage_dedup_ratio"`
+	Chunks            int     `json:"chunks"`
+	DedupHits         int64   `json:"dedup_hits"`
+	DeltaRefs         int     `json:"delta_refs"`
+	// WireDenseBytes / WireChunkedBytes are the uploaded request bytes
+	// publishing the series to a fresh hub whole-model vs negotiated.
+	WireDenseBytes   int64   `json:"wire_dense_bytes"`
+	WireChunkedBytes int64   `json:"wire_chunked_bytes"`
+	WireReduction    float64 `json:"wire_reduction_ratio"`
+	// HydrationIdentical reports whether every model re-loaded from
+	// chunks re-encodes byte-identically to its original.
+	HydrationIdentical bool          `json:"hydration_identical"`
+	PublishMs          LatencyDigest `json:"publish_ms"`
+	LoadMs             LatencyDigest `json:"load_ms"`
+}
+
+// storeBenchSeries builds the fine-tuned series: the base, then
+// variants cycling through sparse edits (delta territory), frozen-trunk
+// transfers (pure head swaps), and lightly tuned transfers (last trunk
+// layer perturbed).
+func storeBenchSeries(cfg StoreBenchConfig) ([]*graph.Model, error) {
+	base, err := zoo.DenseResidualNet(zoo.Config{
+		Name: "storebench-base", Seed: cfg.Seed,
+		Width: cfg.Width, Depth: cfg.Depth, Series: "storebench",
+	})
+	if err != nil {
+		return nil, err
+	}
+	base.Version = "1"
+	models := []*graph.Model{base}
+	trunkLinears := 1 + 2*cfg.Depth // stem + two Dense per residual block
+	for i := 1; i < cfg.Models; i++ {
+		name := fmt.Sprintf("storebench-v%02d", i)
+		var v *graph.Model
+		switch i % 3 {
+		case 0:
+			v, err = zoo.SparseEdit(base, name, cfg.Edits, cfg.Seed+uint64(i))
+		case 1:
+			v, err = zoo.Transfer(base, name, cfg.HeadClasses, trunkLinears, 0, cfg.Seed+uint64(i))
+		default:
+			v, err = zoo.Transfer(base, name, cfg.HeadClasses, trunkLinears-1, 0.02, cfg.Seed+uint64(i))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: storebench variant %d: %w", i, err)
+		}
+		v.Version = "1"
+		models = append(models, v)
+	}
+	return models, nil
+}
+
+// uploadMeter counts request body bytes leaving a hub client — the
+// wire cost of a publish, dense or chunked.
+type uploadMeter struct {
+	inner http.RoundTripper
+	sent  atomic.Int64
+}
+
+func (u *uploadMeter) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.ContentLength > 0 {
+		u.sent.Add(req.ContentLength)
+	}
+	return u.inner.RoundTrip(req)
+}
+
+// RunStoreBench publishes the series into a disk-backed repository
+// (measuring dedup and publish latency), re-opens it cold (measuring
+// hydration latency and byte-identity), then replays the series over
+// HTTP to two fresh hubs — once whole-model, once through chunk
+// negotiation — and reports the bytes each protocol put on the wire.
+func RunStoreBench(ctx context.Context, cfg StoreBenchConfig) (*StoreBenchResult, error) {
+	if cfg.Models <= 0 {
+		cfg = DefaultStoreBenchConfig()
+	}
+	if cfg.Models < 2 {
+		return nil, fmt.Errorf("experiments: storebench needs a base plus variants, got %d models", cfg.Models)
+	}
+	models, err := storeBenchSeries(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "storebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	r, err := repo.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	o := obs.New()
+	res := &StoreBenchResult{Models: len(models)}
+	ids := make([]string, len(models))
+	for i, m := range models {
+		standalone, err := cas.Encode(m, "", nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, data := range standalone.Chunks {
+			res.BaselineBytes += int64(len(data))
+		}
+		enc, err := r.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		stop := o.Time("storebench_publish_ms")
+		id, err := r.PublishEncoded(enc)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: storebench publish %s: %w", m.Name, err)
+		}
+		ids[i] = id
+	}
+	stats := r.CASStats()
+	res.StoredBytes = stats.Bytes
+	res.Chunks = stats.Chunks
+	res.DedupHits = stats.DedupHits
+	if res.StoredBytes > 0 {
+		res.StorageDedupRatio = float64(res.BaselineBytes) / float64(res.StoredBytes)
+	}
+	for _, id := range ids {
+		man, ok := r.Manifest(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: storebench: no manifest for %s", id)
+		}
+		for _, l := range man.Layers {
+			for _, ref := range l.Params {
+				if ref.Delta != nil {
+					res.DeltaRefs++
+				}
+			}
+		}
+	}
+
+	// Cold reads: a fresh repository over the same directory hydrates
+	// every model from chunks; each must re-encode byte-identically.
+	cold, err := repo.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	res.HydrationIdentical = true
+	for i, id := range ids {
+		stop := o.Time("storebench_load_ms")
+		m, err := cold.Load(id)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: storebench cold load %s: %w", id, err)
+		}
+		var want, got bytes.Buffer
+		if err := graph.Encode(&want, models[i]); err != nil {
+			return nil, err
+		}
+		if err := graph.Encode(&got, m); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			res.HydrationIdentical = false
+		}
+	}
+
+	// Wire cost: the same series to two fresh hubs, whole-model vs
+	// chunk-negotiated.
+	res.WireDenseBytes, err = wireCost(models, func(c *hub.Client, i int) error {
+		_, err := c.Publish(models[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.WireChunkedBytes, err = wireCost(models, func(c *hub.Client, i int) error {
+		enc, err := r.Encode(models[i])
+		if err != nil {
+			return err
+		}
+		_, _, err = c.PublishEncoded(enc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.WireChunkedBytes > 0 {
+		res.WireReduction = float64(res.WireDenseBytes) / float64(res.WireChunkedBytes)
+	}
+
+	snap := o.Snapshot()
+	pub := snap.Histograms["storebench_publish_ms"]
+	res.PublishMs = LatencyDigest{Count: int64(len(models)), P50: pub.P50, P95: pub.P95, P99: pub.P99, Max: pub.Max}
+	ld := snap.Histograms["storebench_load_ms"]
+	res.LoadMs = LatencyDigest{Count: int64(len(models)), P50: ld.P50, P95: ld.P95, P99: ld.P99, Max: ld.Max}
+	return res, nil
+}
+
+// wireCost publishes the series to a fresh in-memory hub through
+// publish, returning the request bytes that crossed the wire.
+func wireCost(models []*graph.Model, publish func(c *hub.Client, i int) error) (int64, error) {
+	srv, err := hub.NewServer(repo.NewInMemory())
+	if err != nil {
+		return 0, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	meter := &uploadMeter{inner: ts.Client().Transport}
+	c, err := hub.NewClient(ts.URL, &http.Client{Transport: meter})
+	if err != nil {
+		return 0, err
+	}
+	for i := range models {
+		if err := publish(c, i); err != nil {
+			return 0, fmt.Errorf("experiments: storebench wire publish %s: %w", models[i].Name, err)
+		}
+	}
+	return meter.sent.Load(), nil
+}
+
+// Report renders the paper-style summary block.
+func (r *StoreBenchResult) Report() Report {
+	rep := Report{
+		ID:    "storebench",
+		Title: "content-addressed storage dedup on a fine-tuned series",
+	}
+	rep.Lines = append(rep.Lines,
+		line("series:           %d models (1 base + %d variants)", r.Models, r.Models-1),
+		line("storage:          %d -> %d bytes in %d chunks (%.1fx dedup, %d chunk hits, %d delta refs)",
+			r.BaselineBytes, r.StoredBytes, r.Chunks, r.StorageDedupRatio, r.DedupHits, r.DeltaRefs),
+		line("wire:             %d -> %d bytes uploaded (%.1fx reduction vs whole-model)",
+			r.WireDenseBytes, r.WireChunkedBytes, r.WireReduction),
+		line("hydration:        byte-identical = %v", r.HydrationIdentical),
+		line("publish latency:  p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms",
+			r.PublishMs.P50, r.PublishMs.P95, r.PublishMs.P99, r.PublishMs.Max),
+		line("cold load:        p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms",
+			r.LoadMs.P50, r.LoadMs.P95, r.LoadMs.P99, r.LoadMs.Max),
+	)
+	return rep
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestStoreBenchDedupAndFidelity is the PR's acceptance gate: a
+// 32-model fine-tuned series must cost at least 3x less than the
+// whole-model baseline in both storage and wire bytes, with every
+// model hydrating byte-identically from chunks.
+func TestStoreBenchDedupAndFidelity(t *testing.T) {
+	r, err := RunStoreBench(context.Background(), DefaultStoreBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Models != 32 {
+		t.Fatalf("series has %d models, want 32", r.Models)
+	}
+	if r.StorageDedupRatio < 3 {
+		t.Fatalf("storage dedup %.2fx (stored %d of %d bytes), want >= 3x",
+			r.StorageDedupRatio, r.StoredBytes, r.BaselineBytes)
+	}
+	if r.WireReduction < 3 {
+		t.Fatalf("wire reduction %.2fx (chunked %d vs dense %d bytes), want >= 3x",
+			r.WireReduction, r.WireChunkedBytes, r.WireDenseBytes)
+	}
+	if !r.HydrationIdentical {
+		t.Fatal("a model hydrated from chunks did not re-encode byte-identically")
+	}
+	if r.DeltaRefs == 0 {
+		t.Fatal("series exercised no sparse delta refs")
+	}
+	if r.DedupHits == 0 {
+		t.Fatal("publishing the series hit no shared chunks")
+	}
+}

@@ -1,21 +1,31 @@
 package graph
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"sommelier/internal/chunk"
 	"sommelier/internal/tensor"
 )
 
 // The SOMX wire format is the reproduction's stand-in for ONNX: a JSON
-// envelope describing the DAG with parameter tensors inlined as flat
-// arrays. Real Sommelier imports/exports ONNX through a Python shim; here
-// the format is native so the whole pipeline stays in Go.
+// envelope describing the DAG. Version 1 inlines parameter tensors as
+// flat float arrays. Version 2 records each tensor as an ordered list of
+// content addresses into an in-file chunk table (base64 of the little-
+// endian payload, deduplicated across tensors), so a file shared between
+// many tensors with identical content pays for the bytes once and the
+// on-disk form lines up with the content-addressed store in
+// internal/cas. Real Sommelier imports/exports ONNX through a Python
+// shim; here the format is native so the whole pipeline stays in Go.
 
-const somxFormatVersion = 1
+const (
+	somxFormatV1 = 1
+	somxFormatV2 = 2
+)
 
-type somxFile struct {
+type somxHeader struct {
 	Format       int               `json:"format"`
 	Name         string            `json:"name"`
 	Version      string            `json:"version"`
@@ -24,10 +34,14 @@ type somxFile struct {
 	Preprocessor string            `json:"preprocessor,omitempty"`
 	OutputLabels []string          `json:"output_labels,omitempty"`
 	Metadata     map[string]string `json:"metadata,omitempty"`
-	Layers       []somxLayer       `json:"layers"`
 }
 
-type somxLayer struct {
+type somxFileV1 struct {
+	somxHeader
+	Layers []somxLayerV1 `json:"layers"`
+}
+
+type somxLayerV1 struct {
 	Name   string                `json:"name"`
 	Op     OpKind                `json:"op"`
 	Inputs []string              `json:"inputs,omitempty"`
@@ -40,10 +54,33 @@ type somxTensor struct {
 	Data  []float64 `json:"data"`
 }
 
-// Encode writes the model to w in SOMX format.
-func Encode(w io.Writer, m *Model) error {
-	f := somxFile{
-		Format:       somxFormatVersion,
+type somxFileV2 struct {
+	somxHeader
+	Layers []somxLayerV2 `json:"layers"`
+	// Chunks is the file's chunk table: content address → base64 of the
+	// little-endian float64 payload. Tensors with identical content share
+	// entries, so a fine-tuned model whose trunk matches its base pays
+	// for those bytes once per file.
+	Chunks map[string]string `json:"chunks"`
+}
+
+type somxLayerV2 struct {
+	Name   string                  `json:"name"`
+	Op     OpKind                  `json:"op"`
+	Inputs []string                `json:"inputs,omitempty"`
+	Attrs  Attrs                   `json:"attrs"`
+	Params map[string]somxTensorV2 `json:"params,omitempty"`
+}
+
+type somxTensorV2 struct {
+	Shape []int `json:"shape"`
+	// Chunks lists the tensor's content in offset order, referencing the
+	// file's chunk table.
+	Chunks []string `json:"chunks"`
+}
+
+func headerOf(m *Model) somxHeader {
+	return somxHeader{
 		Name:         m.Name,
 		Version:      m.Version,
 		Task:         m.Task,
@@ -51,10 +88,59 @@ func Encode(w io.Writer, m *Model) error {
 		Preprocessor: m.Preprocessor,
 		OutputLabels: m.OutputLabels,
 		Metadata:     m.Metadata,
-		Layers:       make([]somxLayer, len(m.Layers)),
 	}
+}
+
+func modelOf(h somxHeader, layerCount int) *Model {
+	return &Model{
+		Name:         h.Name,
+		Version:      h.Version,
+		Task:         h.Task,
+		InputShape:   h.InputShape,
+		Preprocessor: h.Preprocessor,
+		OutputLabels: h.OutputLabels,
+		Metadata:     h.Metadata,
+		Layers:       make([]*Layer, layerCount),
+	}
+}
+
+// Encode writes the model to w in SOMX v2, the chunked format.
+func Encode(w io.Writer, m *Model) error {
+	f := somxFileV2{
+		somxHeader: headerOf(m),
+		Layers:     make([]somxLayerV2, len(m.Layers)),
+		Chunks:     make(map[string]string),
+	}
+	f.Format = somxFormatV2
 	for i, l := range m.Layers {
-		sl := somxLayer{Name: l.Name, Op: l.Op, Inputs: l.Inputs, Attrs: l.Attrs}
+		sl := somxLayerV2{Name: l.Name, Op: l.Op, Inputs: l.Inputs, Attrs: l.Attrs}
+		if len(l.Params) > 0 {
+			sl.Params = make(map[string]somxTensorV2, len(l.Params))
+			for name, p := range l.Params {
+				refs := chunk.Split(p.Data(), 0, func(h string, data []byte) {
+					if _, ok := f.Chunks[h]; !ok {
+						f.Chunks[h] = base64.StdEncoding.EncodeToString(data)
+					}
+				})
+				sl.Params[name] = somxTensorV2{Shape: p.Shape(), Chunks: refs}
+			}
+		}
+		f.Layers[i] = sl
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
+// EncodeV1 writes the model in legacy SOMX v1 (tensors inlined as flat
+// float arrays). Kept so older readers stay testable and fixtures can be
+// regenerated.
+func EncodeV1(w io.Writer, m *Model) error {
+	f := somxFileV1{
+		somxHeader: headerOf(m),
+		Layers:     make([]somxLayerV1, len(m.Layers)),
+	}
+	f.Format = somxFormatV1
+	for i, l := range m.Layers {
+		sl := somxLayerV1{Name: l.Name, Op: l.Op, Inputs: l.Inputs, Attrs: l.Attrs}
 		if len(l.Params) > 0 {
 			sl.Params = make(map[string]somxTensor, len(l.Params))
 			for name, p := range l.Params {
@@ -66,25 +152,43 @@ func Encode(w io.Writer, m *Model) error {
 	return json.NewEncoder(w).Encode(&f)
 }
 
-// Decode reads a SOMX model from r and validates it.
+// Decode reads a SOMX model from r, accepting both v1 (inline tensors)
+// and v2 (chunked), and validates it.
 func Decode(r io.Reader) (*Model, error) {
-	var f somxFile
-	if err := json.NewDecoder(r).Decode(&f); err != nil {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading SOMX: %w", err)
+	}
+	var probe struct {
+		Format int `json:"format"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
 		return nil, fmt.Errorf("graph: decoding SOMX: %w", err)
 	}
-	if f.Format != somxFormatVersion {
-		return nil, fmt.Errorf("graph: unsupported SOMX format %d", f.Format)
+	var m *Model
+	switch probe.Format {
+	case somxFormatV1:
+		m, err = decodeV1(raw)
+	case somxFormatV2:
+		m, err = decodeV2(raw)
+	default:
+		return nil, fmt.Errorf("graph: unsupported SOMX format %d", probe.Format)
 	}
-	m := &Model{
-		Name:         f.Name,
-		Version:      f.Version,
-		Task:         f.Task,
-		InputShape:   f.InputShape,
-		Preprocessor: f.Preprocessor,
-		OutputLabels: f.OutputLabels,
-		Metadata:     f.Metadata,
-		Layers:       make([]*Layer, len(f.Layers)),
+	if err != nil {
+		return nil, err
 	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+func decodeV1(raw []byte) (*Model, error) {
+	var f somxFileV1
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("graph: decoding SOMX v1: %w", err)
+	}
+	m := modelOf(f.somxHeader, len(f.Layers))
 	for i, sl := range f.Layers {
 		l := &Layer{Name: sl.Name, Op: sl.Op, Inputs: sl.Inputs, Attrs: sl.Attrs}
 		if len(sl.Params) > 0 {
@@ -99,8 +203,51 @@ func Decode(r io.Reader) (*Model, error) {
 		}
 		m.Layers[i] = l
 	}
-	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("graph: decoded model invalid: %w", err)
+	return m, nil
+}
+
+func decodeV2(raw []byte) (*Model, error) {
+	var f somxFileV2
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("graph: decoding SOMX v2: %w", err)
+	}
+	// Decode and verify the chunk table once; tensors then assemble by
+	// reference. A chunk whose bytes don't hash to its address is
+	// corruption, caught here rather than surfacing as wrong weights.
+	table := make(map[string][]byte, len(f.Chunks))
+	for h, b64 := range f.Chunks {
+		data, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: SOMX chunk %q: %w", h, err)
+		}
+		if got := chunk.Hash(data); got != h {
+			return nil, fmt.Errorf("graph: SOMX chunk %q: content hashes to %q", h, got)
+		}
+		table[h] = data
+	}
+	m := modelOf(f.somxHeader, len(f.Layers))
+	for i, sl := range f.Layers {
+		l := &Layer{Name: sl.Name, Op: sl.Op, Inputs: sl.Inputs, Attrs: sl.Attrs}
+		if len(sl.Params) > 0 {
+			l.Params = make(map[string]*tensor.Tensor, len(sl.Params))
+			for name, st := range sl.Params {
+				datas := make([][]byte, len(st.Chunks))
+				for j, h := range st.Chunks {
+					data, ok := table[h]
+					if !ok {
+						return nil, fmt.Errorf("graph: layer %q param %q references chunk %q absent from file table",
+							sl.Name, name, h)
+					}
+					datas[j] = data
+				}
+				vals, err := chunk.Join(datas, tensor.Shape(st.Shape).NumElements())
+				if err != nil {
+					return nil, fmt.Errorf("graph: layer %q param %q: %w", sl.Name, name, err)
+				}
+				l.Params[name] = tensor.FromSlice(vals, st.Shape...)
+			}
+		}
+		m.Layers[i] = l
 	}
 	return m, nil
 }

@@ -547,43 +547,6 @@ func (e *MirrorError) Error() string {
 	return fmt.Sprintf("hub: mirror: %d model(s) failed: %s", len(ids), strings.Join(parts, "; "))
 }
 
-// Mirror copies every hub model into a local repository — the 3-line
-// migration path of §6: point Sommelier at a mirror of any hub. Mirror
-// tolerates partial failure: a model that cannot be fetched or stored
-// is skipped and reported, and the rest of the hub still mirrors. The
-// returned count is the number of models copied; the error is nil on
-// full success, a *MirrorError on partial success, or a plain error if
-// the hub could not even be listed.
-func (c *Client) Mirror(dst *repo.Repository) (int, error) {
-	list, err := c.List()
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	var failed map[string]error
-	for _, md := range list {
-		m, err := c.Load(md.ID)
-		if err == nil {
-			_, err = dst.Publish(m)
-			if err != nil {
-				err = fmt.Errorf("hub: mirroring %s: %w", md.ID, err)
-			}
-		}
-		if err != nil {
-			if failed == nil {
-				failed = make(map[string]error)
-			}
-			failed[md.ID] = err
-			continue
-		}
-		n++
-	}
-	if failed != nil {
-		return n, &MirrorError{Errs: failed}
-	}
-	return n, nil
-}
-
 func readError(resp *http.Response) string {
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 512))
 	if err != nil || len(b) == 0 {

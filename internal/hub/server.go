@@ -9,9 +9,12 @@
 // Endpoints:
 //
 //	GET  /v1/models            — list model metadata (JSON)
-//	GET  /v1/models/{id}       — fetch one model (SOMX)
-//	PUT  /v1/models/{id}       — publish a model (SOMX body)
+//	GET  /v1/models/{id}       — fetch one model (SOMX), or its chunk
+//	                             manifest with ?format=manifest
+//	PUT  /v1/models/{id}       — publish a model (SOMX body), or by
+//	                             manifest (chunk negotiation; see chunks.go)
 //	DELETE /v1/models/{id}     — remove a model
+//	HEAD/GET/PUT /v1/chunks/{hash} — probe/fetch/upload one tensor chunk
 //	GET  /v1/query?q=…         — run a Sommelier query (JSON; needs WithQuerier)
 //	GET  /v1/metrics           — observability snapshot (JSON; needs WithObserver)
 //	GET  /v1/tracez            — recent spans, oldest first (JSON; needs WithObserver)
@@ -131,6 +134,7 @@ func NewServer(store Store, opts ...ServerOption) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/models", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
+	s.mux.HandleFunc("/v1/chunks/", s.instrument("chunk", s.handleChunk))
 	s.mux.HandleFunc("/v1/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/tracez", s.handleTracez)
@@ -289,6 +293,10 @@ func (s *Server) serveModel(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
+		if r.URL.Query().Get("format") == "manifest" {
+			s.serveManifestGet(w, id)
+			return
+		}
 		m, err := s.store.Load(id)
 		if err != nil {
 			if errors.Is(err, repo.ErrNotFound) {
@@ -305,6 +313,10 @@ func (s *Server) serveModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	case http.MethodPut:
+		if r.Header.Get("Content-Type") == ContentTypeManifest {
+			s.serveManifestPut(w, r, id)
+			return
+		}
 		m, err := graph.Decode(http.MaxBytesReader(w, r.Body, s.maxBody))
 		if err != nil {
 			var mbe *http.MaxBytesError

@@ -30,7 +30,9 @@ var DetCheck = &Analyzer{
 // detPackages are the import-path leaf names of the packages whose
 // output must be reproducible (ISSUE 3 / DESIGN.md invariants).
 var detPackages = map[string]bool{
+	"cas":     true,
 	"catalog": true,
+	"chunk":   true,
 	"cluster": true,
 	"index":   true,
 	"equiv":   true,

@@ -1,36 +1,52 @@
 package repo
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 // Failure injection: a repository must degrade loudly, not silently,
-// when its on-disk state is damaged.
+// when its on-disk state is damaged — and one damaged file must never
+// take the whole repository down.
 
-func TestOpenRejectsCorruptFile(t *testing.T) {
+func TestOpenSweepsCorruptLegacyFile(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "broken@1.somx"), []byte("{not json"), 0o644); err != nil {
+	path := filepath.Join(dir, "broken@1.somx")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
-		t.Fatal("expected error opening a repository with a corrupt model file")
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("corrupt file must not fail the open: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("corrupt file counted as a model: %d", r.Len())
+	}
+	if got := r.SweptFiles(); len(got) != 1 || got[0] != "broken@1.somx" {
+		t.Fatalf("SweptFiles = %v, want the corrupt file", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file left on disk after sweep")
 	}
 }
 
-func TestOpenRejectsTruncatedModel(t *testing.T) {
+func TestOpenSweepsTornManifest(t *testing.T) {
 	dir := t.TempDir()
 	r, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := model(t, "trunc", "1", 3)
-	id, err := r.Publish(m)
+	keepID, err := r.Publish(model(t, "keep", "1", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, id+".somx")
+	id, err := r.Publish(model(t, "torn", "1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id+manifestSuffix)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -38,8 +54,46 @@ func TestOpenRejectsTruncatedModel(t *testing.T) {
 	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
-		t.Fatal("expected error for truncated model file")
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn manifest must not fail the open: %v", err)
+	}
+	if _, err := r2.Load(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load of swept model = %v, want ErrNotFound", err)
+	}
+	if _, err := r2.Load(keepID); err != nil {
+		t.Fatalf("healthy sibling model lost: %v", err)
+	}
+	if len(r2.SweptFiles()) == 0 {
+		t.Fatal("sweep left no record")
+	}
+}
+
+func TestOpenSweepsManifestWithMissingChunks(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Publish(model(t, "gone", "1", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, ok := r.Manifest(id)
+	if !ok {
+		t.Fatal("manifest missing after publish")
+	}
+	// Delete one chunk file behind the repository's back.
+	h := man.ChunkRefs()[0]
+	if err := os.Remove(filepath.Join(dir, "chunks", h[:2], h)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("missing chunk must not fail the open: %v", err)
+	}
+	if _, err := r2.Load(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load = %v, want ErrNotFound after sweep", err)
 	}
 }
 
@@ -58,6 +112,9 @@ func TestOpenIgnoresForeignFiles(t *testing.T) {
 	if r.Len() != 0 {
 		t.Fatalf("foreign files counted as models: %d", r.Len())
 	}
+	if got := r.SweptFiles(); len(got) != 0 {
+		t.Fatalf("foreign files swept: %v", got)
+	}
 }
 
 func TestLoadAfterExternalDeletion(t *testing.T) {
@@ -70,17 +127,50 @@ func TestLoadAfterExternalDeletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Simulate an operator deleting the file behind the repository's
+	// Simulate an operator deleting the manifest behind the repository's
 	// back, then dropping the cache via a fresh handle.
-	if err := os.Remove(filepath.Join(dir, id+".somx")); err != nil {
+	if err := os.Remove(filepath.Join(dir, id+manifestSuffix)); err != nil {
 		t.Fatal(err)
 	}
 	r2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r2.Load(id); err == nil {
-		t.Fatal("expected not-found after external deletion")
+	if _, err := r2.Load(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Load = %v, want not-found after external deletion", err)
+	}
+}
+
+func TestCorruptChunkIsDamagedNotNotFound(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Publish(model(t, "rot", "1", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, _ := r.Manifest(id)
+	h := man.ChunkRefs()[0]
+	if err := os.WriteFile(filepath.Join(dir, "chunks", h[:2], h), []byte("bitrot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh handle so the hydration cache is cold; the chunk table knows
+	// the chunk, but its bytes no longer match the address.
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r2.Load(id)
+	if err == nil {
+		t.Fatal("corrupt chunk loaded successfully")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatal("corruption misreported as not-found")
+	}
+	if !errors.Is(err, ErrDamaged) {
+		t.Fatalf("Load = %v, want ErrDamaged", err)
 	}
 }
 
@@ -93,11 +183,7 @@ func TestOpenUnwritableDir(t *testing.T) {
 	if err := os.MkdirAll(ro, 0o555); err != nil {
 		t.Fatal(err)
 	}
-	r, err := Open(ro)
-	if err != nil {
-		t.Fatal(err) // opening read-only is fine
-	}
-	if _, err := r.Publish(model(t, "nope", "1", 7)); err == nil {
-		t.Fatal("expected publish error on read-only directory")
+	if _, err := Open(ro); err == nil {
+		t.Fatal("expected open error: the chunk tree cannot be created read-only")
 	}
 }

@@ -364,6 +364,44 @@ func Transfer(base *graph.Model, name string, headClasses int, freezeDepth int, 
 	return v, nil
 }
 
+// SparseEdit derives a variant of base differing in exactly edits
+// elements of each linear layer's weight matrix — the surgical-patch
+// case (bias fixes, pruning touch-ups) the storage layer's sparse
+// delta encoding targets. Everything else, including shapes and
+// structure, is shared bit-for-bit with base.
+func SparseEdit(base *graph.Model, name string, edits int, seed uint64) (*graph.Model, error) {
+	order, err := base.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	v := base.Clone()
+	v.Name = name
+	rng := tensor.NewRNG(seed)
+	for _, n := range order {
+		l := v.Layer(n.Name)
+		if l.Op.Class() != graph.ClassLinear {
+			continue
+		}
+		w, ok := l.Params["W"]
+		if !ok || len(w.Data()) == 0 {
+			continue
+		}
+		data := w.Data()
+		for e := 0; e < edits; e++ {
+			j := rng.Intn(len(data))
+			data[j] += 0.05 * rng.NormFloat64()
+		}
+	}
+	if v.Metadata == nil {
+		v.Metadata = map[string]string{}
+	}
+	v.Metadata["transferred-from"] = base.Name
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("zoo: sparse edit produced invalid model: %w", err)
+	}
+	return v, nil
+}
+
 // PaperScaleDense builds a plain dense stack whose parameter count is
 // approximately targetParams — used to reproduce Table 2 at the paper's
 // model sizes (62M…340M) or any scaled-down fraction.
