@@ -20,8 +20,12 @@ race:
 
 # lint runs sommlint, the repo's own analyzer suite (see DESIGN.md
 # "Invariants and static enforcement"): lock-annotation discipline,
-# snapshot immutability, determinism, context plumbing, and sentinel
-# error comparison. Exit 1 means findings; use `-json` for tooling.
+# snapshot immutability, determinism, context plumbing, sentinel error
+# comparison, plus the flow-sensitive checks (lockflow, leakcheck,
+# errflow) — locks released on every path and never held across I/O,
+# resources closed on every path, error chains wrapped with %w. Exit 1
+# means findings; use `-json` for tooling and `//lint:ignore <analyzer>
+# <reason>` for justified one-line suppressions.
 lint:
 	$(GO) run ./cmd/sommlint ./...
 

@@ -1,7 +1,11 @@
 // Command sommlint runs Sommelier's in-tree static-analysis suite
-// (internal/lint) over the module: lockcheck, snapcheck, detcheck,
-// ctxcheck and errcmp — the machine-checked versions of the invariants
-// DESIGN.md documents.
+// (internal/lint) over the module: the syntactic checks (lockcheck,
+// snapcheck, detcheck, ctxcheck, errcmp, optcheck) plus the
+// flow-sensitive ones built on the CFG engine (lockflow, leakcheck,
+// errflow) — the machine-checked versions of the invariants DESIGN.md
+// documents. Findings can be silenced case by case with a justified
+// `//lint:ignore <analyzer> <reason>` directive; unused or reasonless
+// directives are themselves findings.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -84,6 +89,16 @@ func run(args []string) int {
 	}
 	pkgs, err := lint.Load(cfg, fs.Args())
 	if err != nil {
+		// Broken input still gets file:line:col lines, one per error.
+		var le *lint.LoadError
+		if errors.As(err, &le) {
+			for _, d := range le.Diags {
+				fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n",
+					relPath(cwd, d.Position.Filename), d.Position.Line, d.Position.Column,
+					d.Analyzer, d.Message)
+			}
+			return 2
+		}
 		fmt.Fprintln(os.Stderr, "sommlint:", err)
 		return 2
 	}

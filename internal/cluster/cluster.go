@@ -163,8 +163,8 @@ func (c *Cluster) publishTo(ctx context.Context, shard int, reps []Replica, m *g
 	}
 	if accepted == 0 {
 		c.obs.Counter("cluster_publish_failed_total").Inc()
-		return "", fmt.Errorf("cluster: publish %s to shard %d: %w: %v",
-			id, shard, ErrAllReplicasFailed, (&PartialWriteError{ID: id, Errs: errs}).Error())
+		return "", fmt.Errorf("cluster: publish %s to shard %d: %w: %w",
+			id, shard, ErrAllReplicasFailed, &PartialWriteError{ID: id, Errs: errs})
 	}
 	c.obs.Counter("cluster_publish_partial_total").Inc()
 	return id, &PartialWriteError{ID: id, Errs: errs, Accepted: accepted}
@@ -482,7 +482,7 @@ func (c *Cluster) Rebalance(ctx context.Context) (*RebalanceReport, error) {
 			if _, err := publishReplica(ctx, replica, m, enc); err != nil {
 				for rb := 0; rb < r; rb++ {
 					if derr := shards[want][rb].Delete(ctx, id); derr != nil && !errors.Is(derr, repo.ErrNotFound) {
-						return rep, fmt.Errorf("cluster: rebalance: moving %s to %s: %w; rollback from %s also failed: %v (model retained on shard %d)",
+						return rep, fmt.Errorf("cluster: rebalance: moving %s to %s: %w; rollback from %s also failed: %w (model retained on shard %d)",
 							id, Target(want, r), err, Target(want, rb), derr, from)
 					}
 				}
@@ -524,7 +524,7 @@ func (c *Cluster) loadFromShard(ctx context.Context, reps []Replica, id string) 
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("%w: %v", ErrAllReplicasFailed, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrAllReplicasFailed, lastErr)
 }
 
 // seriesOf extracts the model's series annotation, if any — the

@@ -124,7 +124,15 @@ type Client struct {
 	mu       sync.Mutex
 	cache    *modelLRU       // guarded by mu
 	lastList []repo.Metadata // guarded by mu
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // guarded by jitterMu
 }
+
+// clientSeq seeds each client's jitter stream: monotonic and
+// process-local, so backoff never touches the wall clock or the
+// global math/rand state the deterministic packages ban.
+var clientSeq atomic.Int64
 
 // NewClient returns a client for a hub at baseURL (e.g.
 // "http://hub:8080"). httpClient may be nil for http.DefaultClient;
@@ -147,6 +155,7 @@ func NewClient(baseURL string, httpClient *http.Client, opts ...Option) (*Client
 		breakerThreshold: DefaultBreakerThreshold,
 		breakerCooldown:  DefaultBreakerCooldown,
 		cacheCap:         DefaultCacheCap,
+		jitter:           rand.New(rand.NewSource(clientSeq.Add(1))),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -271,10 +280,10 @@ func (c *Client) do(idempotent bool, build func() (*http.Request, error), handle
 		parent := req.Context()
 		if i > 0 {
 			c.retryCount.Add(1)
-			if err := sleepCtx(parent, backoff(c.backoffBase, c.backoffMax, i)); err != nil {
+			if err := sleepCtx(parent, c.backoff(i)); err != nil {
 				// The caller gave up between attempts; that is their
 				// deadline, not a hub failure.
-				return fmt.Errorf("%v (retry aborted: %w)", lastErr, err)
+				return fmt.Errorf("%w (retry aborted: %w)", lastErr, err)
 			}
 		}
 		err = c.doOnce(req, handle)
@@ -340,8 +349,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // backoff returns the sleep before retry attempt k (1-based):
-// exponential growth capped at max, with full jitter.
-func backoff(base, max time.Duration, k int) time.Duration {
+// exponential growth capped at max, with full jitter drawn from the
+// client's own seeded stream.
+func (c *Client) backoff(k int) time.Duration {
+	base, max := c.backoffBase, c.backoffMax
 	if base <= 0 {
 		return 0
 	}
@@ -352,7 +363,10 @@ func backoff(base, max time.Duration, k int) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	return time.Duration(rand.Int63n(int64(d) + 1))
+	c.jitterMu.Lock()
+	j := c.jitter.Int63n(int64(d) + 1)
+	c.jitterMu.Unlock()
+	return time.Duration(j)
 }
 
 func buildGet(urlStr string) func() (*http.Request, error) {

@@ -1,0 +1,568 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the suite's intraprocedural dataflow engine: a
+// control-flow graph built from a function body plus a small forward
+// fixpoint runner. The flow-sensitive analyzers (lockflow, leakcheck,
+// errflow) are clients; they supply a lattice (transfer, merge, edge
+// refinement) and replay the fixpoint to report at exact nodes.
+//
+// Design points, sized to what those analyzers need:
+//
+//   - Nodes are statements or the atomic sub-expressions of control
+//     statements (an if's condition, a switch's tag). Walking a node
+//     never crosses into another block's code, so analyzers can scan a
+//     node's calls without seeing the future.
+//   - Return statements and terminal calls (panic, os.Exit, log.Fatal*)
+//     end their block with no successors; the analyzers check exit
+//     conditions when they see the node itself. The graph's exit block
+//     is reachable only by falling off the end of the body.
+//   - Edges carry the branch condition they are guarded by (cond plus
+//     the truth it evaluated to), so analyzers can refine facts along
+//     `if err != nil` style branches — the idiom every resource-leak
+//     and sentinel-guard rule depends on.
+//   - Defer statements are ordinary nodes. Path-dependent defer
+//     semantics (a defer only fires if execution passed it) fall out of
+//     the dataflow: analyzers record pending defers as facts.
+
+// cfgEdge is one control transfer, optionally guarded by a condition.
+type cfgEdge struct {
+	to *cfgBlock
+	// cond is the branch condition this edge is guarded by, nil for
+	// unconditional transfers; truth is the value cond evaluated to
+	// along this edge.
+	cond  ast.Expr
+	truth bool
+}
+
+// cfgBlock is a straight-line run of nodes.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []cfgEdge
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // reached only by falling off the end of the body
+	blocks []*cfgBlock
+}
+
+// cfgBuilder incrementally grows a funcCFG.
+type cfgBuilder struct {
+	g    *funcCFG
+	cur  *cfgBlock
+	info *types.Info
+
+	// breakable/continuable targets, innermost last; label is "" for
+	// unlabeled statements.
+	breaks    []branchTarget
+	continues []branchTarget
+
+	labels map[string]*cfgBlock // goto targets
+	gotos  []pendingGoto
+}
+
+type branchTarget struct {
+	label string
+	blk   *cfgBlock
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// buildCFG constructs the graph for a function body. info resolves the
+// callees of potential terminal calls; it may be nil (then only the
+// panic builtin terminates).
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, info: info, labels: make(map[string]*cfgBlock)}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.exit, nil, false)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target, nil, false)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge connects from→to unless from has been terminated (nil).
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, truth bool) {
+	if from == nil {
+		return
+	}
+	from.succs = append(from.succs, cfgEdge{to: to, cond: cond, truth: truth})
+}
+
+// add appends a node to the current block; no-op in dead code.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// cut terminates the current block: subsequent statements are dead
+// until a new block is opened (by a label or join point).
+func (b *cfgBuilder) cut() { b.cur = nil }
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label carries the name of an
+// immediately enclosing LabeledStmt, so break/continue targets and
+// goto labels resolve.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is a join point: goto can enter here.
+		lb := b.newBlock()
+		b.edge(b.cur, lb, nil, false)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cut()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, s.Label); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, s.Label); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					b.edge(b.cur, t, nil, false)
+				} else {
+					b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+				}
+			}
+		case token.FALLTHROUGH:
+			// Handled by the switch translation; nothing to connect here.
+			return
+		}
+		b.cut()
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(head, thenBlk, s.Cond, true)
+		b.cur = thenBlk
+		b.stmt(s.Body, "")
+		b.edge(b.cur, join, nil, false)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(head, elseBlk, s.Cond, false)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.edge(b.cur, join, nil, false)
+		} else {
+			b.edge(head, join, s.Cond, false)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := b.newBlock()
+		b.edge(head, body, s.Cond, true)
+		if s.Cond != nil {
+			b.edge(head, exit, s.Cond, false)
+		}
+		b.pushLoop(label, exit, post)
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.popLoop()
+		b.edge(b.cur, post, nil, false)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post, "")
+			b.edge(b.cur, head, nil, false)
+		} else {
+			b.edge(post, head, nil, false)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		b.cur = head
+		b.add(s.X)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.edge(head, exit, nil, false)
+		b.pushLoop(label, exit, head)
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.popLoop()
+		b.edge(b.cur, head, nil, false)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, s.Tag == nil, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, false, label)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label: label, blk: join})
+		sawDefault := false
+		for _, cc := range s.Body.List {
+			comm, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk, nil, false)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm, "")
+			} else {
+				sawDefault = true
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, join, nil, false)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		_ = sawDefault // a select with no default still always takes a case
+		b.cur = join
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			b.cut()
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses translates switch/type-switch bodies. condEdges marks a
+// tagless switch, where single-expression cases become guarded edges.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, condEdges bool, label string) {
+	head := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label: label, blk: join})
+
+	// Pre-create body blocks so fallthrough can target the next case.
+	bodies := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	sawDefault := false
+	for i, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			sawDefault = true
+		}
+		for _, e := range cc.List {
+			b.add2(head, e)
+		}
+		var cond ast.Expr
+		if condEdges && len(cc.List) == 1 {
+			cond = cc.List[0]
+		}
+		b.edge(head, bodies[i], cond, true)
+		b.cur = bodies[i]
+		fallsThrough := false
+		for _, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(cc.Body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, bodies[i+1], nil, false)
+			b.cut()
+		}
+		b.edge(b.cur, join, nil, false)
+	}
+	if !sawDefault {
+		b.edge(head, join, nil, false)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// add2 appends a node to a specific block (case expressions are
+// evaluated in the head block, not the case body).
+func (b *cfgBuilder) add2(blk *cfgBlock, n ast.Node) {
+	if blk != nil && n != nil {
+		blk.nodes = append(blk.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, branchTarget{label: label, blk: brk})
+	b.continues = append(b.continues, branchTarget{label: label, blk: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue to its target block: innermost
+// for unlabeled, matching label otherwise.
+func findTarget(stack []branchTarget, label *ast.Ident) *cfgBlock {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].blk
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].blk
+		}
+	}
+	return nil
+}
+
+// isTerminalCall reports whether a call never returns: the panic
+// builtin, os.Exit, and log.Fatal*.
+func (b *cfgBuilder) isTerminalCall(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if b.info == nil {
+			return true
+		}
+		if _, isBuiltin := b.info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+		return false
+	}
+	if b.info == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := b.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	}
+	return false
+}
+
+// isPanicCall reports whether a node is a statement calling the panic
+// builtin — the analyzers' "abnormal exit" probe.
+func isPanicCall(n ast.Node, info *types.Info) bool {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if info == nil {
+		return true
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// flowLattice bundles the operations the fixpoint runner needs. States
+// must be treated as immutable by callers: Transfer and Edge receive a
+// clone they may mutate and return.
+type flowLattice[S any] struct {
+	// Transfer applies one node's effect to the state.
+	Transfer func(S, ast.Node) S
+	// Merge joins two states at a control-flow join; it must be
+	// monotone and idempotent for the fixpoint to terminate.
+	Merge func(S, S) S
+	// Clone deep-copies a state.
+	Clone func(S) S
+	// Equal reports state equality (fixpoint detection).
+	Equal func(S, S) bool
+	// Edge refines the state along a guarded edge; returning ok=false
+	// prunes the edge (the condition proves it infeasible). nil means
+	// no refinement.
+	Edge func(S, cfgEdge) (S, bool)
+}
+
+// runFlow runs the forward fixpoint and returns each reachable block's
+// entry state. Unreachable blocks are absent from the map.
+func runFlow[S any](g *funcCFG, entry S, lat flowLattice[S]) map[*cfgBlock]S {
+	in := make(map[*cfgBlock]S)
+	in[g.entry] = entry
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		st := lat.Clone(in[blk])
+		for _, n := range blk.nodes {
+			st = lat.Transfer(st, n)
+		}
+		for _, e := range blk.succs {
+			es := lat.Clone(st)
+			if lat.Edge != nil {
+				var ok bool
+				es, ok = lat.Edge(es, e)
+				if !ok {
+					continue
+				}
+			}
+			old, seen := in[e.to]
+			var merged S
+			if seen {
+				merged = lat.Merge(lat.Clone(old), es)
+			} else {
+				merged = es
+			}
+			if !seen || !lat.Equal(old, merged) {
+				in[e.to] = merged
+				if !queued[e.to] {
+					queued[e.to] = true
+					work = append(work, e.to)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// replayFlow re-runs the transfer function over every reachable block
+// in index order, invoking visit with each node's entry state — the
+// reporting pass, run once after the fixpoint so diagnostics are not
+// duplicated by iteration.
+func replayFlow[S any](g *funcCFG, entries map[*cfgBlock]S, lat flowLattice[S], visit func(ast.Node, S)) {
+	for _, blk := range g.blocks {
+		st, ok := entries[blk]
+		if !ok {
+			continue
+		}
+		st = lat.Clone(st)
+		for _, n := range blk.nodes {
+			visit(n, st)
+			st = lat.Transfer(st, n)
+		}
+	}
+}
+
+// calls walks a node's expression tree invoking f on every call, in
+// source order, without descending into function literals — a literal's
+// body runs later (or never), not at this program point.
+func calls(n ast.Node, f func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			f(call)
+		}
+		return true
+	})
+}
+
+// funcLits collects every function literal in the file, paired with the
+// name of the enclosing declaration for diagnostics.
+func funcLits(f *ast.File) []struct {
+	lit  *ast.FuncLit
+	name string
+} {
+	var out []struct {
+		lit  *ast.FuncLit
+		name string
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := funcScopeName(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, struct {
+					lit  *ast.FuncLit
+					name string
+				}{lit, name + " (func literal)"})
+			}
+			return true
+		})
+	}
+	return out
+}

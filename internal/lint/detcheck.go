@@ -39,6 +39,9 @@ var detPackages = map[string]bool{
 	"lsh":     true,
 	"tensor":  true,
 	"zoo":     true,
+	"repo":    true,
+	"hub":     true,
+	"serving": true,
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw

@@ -34,6 +34,43 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSuppressionForUnselectedAnalyzer checks the -only interaction: a
+// directive naming a registered analyzer that is not part of this run
+// is neither honored nor reported as unused — judging it needs the
+// analyzer's own findings.
+func TestSuppressionForUnselectedAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "store", "store.go"), `package store
+
+import "errors"
+
+var ErrMissing = errors.New("missing")
+
+func Check(err error) bool {
+	//lint:ignore errcmp the sentinel arrives unwrapped from the legacy decoder
+	return err == ErrMissing
+}
+`)
+	cfg, err := ConfigForDir(dir)
+	if err != nil {
+		t.Fatalf("ConfigForDir: %v", err)
+	}
+	pkgs, err := Load(cfg, nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// errcmp selected: the directive is used, everything is quiet.
+	if diags := Run(pkgs, []*Analyzer{ErrCmp}); len(diags) != 0 {
+		t.Errorf("with errcmp selected: got %v, want no diagnostics", diags)
+	}
+	// errcmp not selected: the directive must not be reported unused —
+	// this run never produced the findings it exists to silence.
+	if diags := Run(pkgs, []*Analyzer{LockFlow}); len(diags) != 0 {
+		t.Errorf("with errcmp unselected: got %v, want no diagnostics", diags)
+	}
+}
+
 // TestSeededViolationInModuleMode builds a throwaway module containing a
 // direct sentinel comparison and checks that module-mode loading (go.mod
 // discovery, module-path import resolution) surfaces it.

@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrFlow keeps the module's sentinel-error contracts intact: callers
+// test Load/Publish/Query failures with errors.Is against
+// repo.ErrNotFound, repo.ErrDamaged, hub.ErrCircuitOpen,
+// hub.ErrAttemptTimeout (and friends), which only works if every
+// propagation hop preserves the chain. Three rules:
+//
+//  1. An error formatted into fmt.Errorf must use the %w verb. %v or
+//     %s flattens it to text and errors.Is stops matching one hop up.
+//  2. err.Error() must not feed fmt.Errorf or errors.New — that is the
+//     same re-stringification with extra steps.
+//  3. Flow rule: once a path has established errors.Is(err, Sentinel),
+//     returning a freshly constructed error that references neither
+//     err nor the sentinel silently drops the classification the
+//     caller just proved it needs.
+//
+// Error() and String() methods are exempt — flattening to text is
+// their whole job.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "sentinel-tested errors must be wrapped with %w on every propagation path, never re-stringified",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isStringerMethod(fd) {
+				continue
+			}
+			errFlowSyntactic(pass, fd.Body)
+			errFlowGuards(pass, fd.Body)
+		}
+	}
+}
+
+// isStringerMethod reports whether fd is an Error() string or
+// String() string method, where stringification is the contract.
+func isStringerMethod(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Error" && fd.Name.Name != "String" {
+		return false
+	}
+	ft := fd.Type
+	if ft.Params != nil && len(ft.Params.List) > 0 {
+		return false
+	}
+	if ft.Results == nil || len(ft.Results.List) != 1 {
+		return false
+	}
+	id, ok := ft.Results.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "string"
+}
+
+// errFlowSyntactic applies rules 1 and 2 to every call in the body,
+// including function literals — they propagate errors too.
+func errFlowSyntactic(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgFunc(info, call, "fmt", "Errorf") {
+			checkErrorfVerbs(pass, call)
+			checkStringified(pass, info, call, call.Args)
+		}
+		if pkgFunc(info, call, "errors", "New") {
+			checkStringified(pass, info, call, call.Args)
+		}
+		return true
+	})
+}
+
+// checkErrorfVerbs aligns a fmt.Errorf format string's verbs with its
+// arguments and flags error-typed arguments not wrapped with %w.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // explicit argument indexes; leave it to vet
+	}
+	args := call.Args[1:]
+	if len(verbs) != len(args) {
+		return // arity mismatch is vet's diagnostic, not ours
+	}
+	for i, verb := range verbs {
+		if verb == 'w' || verb == '*' {
+			continue
+		}
+		tv, ok := pass.Pkg.Info.Types[args[i]]
+		if !ok || !implementsError(tv.Type) {
+			continue
+		}
+		pass.Reportf(args[i].Pos(),
+			"error formatted with %%%c loses the chain; use %%w so errors.Is keeps matching", verb)
+	}
+}
+
+// formatVerbs returns the verb for each argument the format consumes,
+// with '*' entries for dynamic width/precision operands. ok=false when
+// the format uses explicit argument indexes.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Explicit argument index: bail out.
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i+1 < len(format) && format[i] == '.' {
+			i++
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs, true
+}
+
+// checkStringified flags err.Error() results fed into an error
+// constructor's arguments.
+func checkStringified(pass *Pass, info *types.Info, ctor *ast.CallExpr, args []ast.Expr) {
+	for _, arg := range args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+				return true
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok || !implementsError(tv.Type) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"err.Error() re-stringifies the chain inside an error constructor; wrap the error itself with %%w")
+			return true
+		})
+	}
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}
+
+// sentinelGuard is the flow fact for rule 3: on this path, errObj has
+// been proven to carry the named sentinel by errors.Is.
+type sentinelGuard struct {
+	sentinelObj  types.Object
+	sentinelName string
+	guardPos     token.Pos
+}
+
+type errFlowState map[types.Object]sentinelGuard
+
+// errFlowGuards runs the reaching-sentinel dataflow: facts are
+// generated on the true edge of errors.Is(err, Sentinel) conditions,
+// killed when err is reassigned, and checked at every return.
+func errFlowGuards(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := buildCFG(body, info)
+
+	lat := flowLattice[errFlowState]{
+		Clone: func(s errFlowState) errFlowState {
+			out := make(errFlowState, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			return out
+		},
+		Merge: func(a, b errFlowState) errFlowState {
+			// A guard holds at a join only if it held on every path.
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					delete(a, k)
+				}
+			}
+			return a
+		},
+		Equal: func(a, b errFlowState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(s errFlowState, n ast.Node) errFlowState {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil {
+							delete(s, obj)
+						}
+					}
+				}
+			}
+			return s
+		},
+		Edge: func(s errFlowState, e cfgEdge) (errFlowState, bool) {
+			if e.cond == nil {
+				return s, true
+			}
+			cond, truth := e.cond, e.truth
+			for {
+				un, ok := cond.(*ast.UnaryExpr)
+				if !ok || un.Op != token.NOT {
+					break
+				}
+				cond, truth = un.X, !truth
+			}
+			if !truth {
+				return s, true
+			}
+			call, ok := cond.(*ast.CallExpr)
+			if !ok || !pkgFunc(info, call, "errors", "Is") || len(call.Args) != 2 {
+				return s, true
+			}
+			errID, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return s, true
+			}
+			errObj := objOf(info, errID)
+			sentObj := sentinelObjOf(info, call.Args[1])
+			if errObj == nil || sentObj == nil {
+				return s, true
+			}
+			s[errObj] = sentinelGuard{
+				sentinelObj:  sentObj,
+				sentinelName: types.ExprString(call.Args[1]),
+				guardPos:     call.Pos(),
+			}
+			return s, true
+		},
+	}
+
+	entries := runFlow(g, errFlowState{}, lat)
+	replayFlow(g, entries, lat, func(n ast.Node, s errFlowState) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(s) == 0 {
+			return
+		}
+		for _, res := range ret.Results {
+			ctor, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if !pkgFunc(info, ctor, "fmt", "Errorf") && !pkgFunc(info, ctor, "errors", "New") {
+				continue
+			}
+			for errObj, guard := range s {
+				if referencesObj(info, ctor, errObj) || referencesObj(info, ctor, guard.sentinelObj) {
+					continue
+				}
+				pass.Reportf(res.Pos(),
+					"returns a new error that drops %s established by errors.Is at line %d; return the original error or wrap it with %%w",
+					guard.sentinelName, pass.Pkg.Fset.Position(guard.guardPos).Line)
+			}
+		}
+	})
+}
+
+// sentinelObjOf resolves an errors.Is target to a package-level error
+// variable (the sentinel convention: `var ErrX = errors.New(...)`).
+func sentinelObjOf(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := objOf(info, id)
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// referencesObj reports whether the expression mentions the object.
+func referencesObj(info *types.Info, e ast.Expr, target types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

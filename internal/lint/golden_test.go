@@ -119,6 +119,17 @@ func TestErrCmpGolden(t *testing.T) { runGolden(t, ErrCmp, "errcmp") }
 
 func TestOptCheckGolden(t *testing.T) { runGolden(t, OptCheck, "sommelier") }
 
+func TestLockFlowGolden(t *testing.T) { runGolden(t, LockFlow, "lockflow") }
+
+func TestLeakCheckGolden(t *testing.T) { runGolden(t, LeakCheck, "leakcheck") }
+
+func TestErrFlowGolden(t *testing.T) { runGolden(t, ErrFlow, "errflow") }
+
+// TestSuppressGolden drives the //lint:ignore directive through the
+// driver with errcmp as the finding source: used suppressions silence,
+// malformed/unknown/unused ones are reported.
+func TestSuppressGolden(t *testing.T) { runGolden(t, ErrCmp, "suppress") }
+
 // TestFullSuiteOverTestdata runs every analyzer over every golden
 // package at once; diagnostics must exactly cover the union of wants.
 // This catches analyzers that fire on another analyzer's fixtures.
@@ -127,6 +138,7 @@ func TestFullSuiteOverTestdata(t *testing.T) {
 		"lockcheck", "snapwrite", "sommelier", "sommelier/internal/catalog",
 		"detcheck/index", "detcheck/plain", "ctxcheck/lib", "ctxcheck/mainprog",
 		"errcmp", "errcmp/deps",
+		"lockflow", "leakcheck", "errflow", "suppress",
 	}
 	pkgs := loadGolden(t, patterns...)
 	wants := collectWants(t, pkgs)

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -12,6 +13,28 @@ import (
 	"sort"
 	"strings"
 )
+
+// LoadError reports parse or type-check failures as positioned
+// diagnostics — one per underlying error — so broken input surfaces as
+// file:line:col lines instead of a panic or one opaque message.
+type LoadError struct {
+	// Path is the import path (or directory) of the failing package.
+	Path string
+	// Stage is "syntax" for parse failures, "typecheck" for
+	// type-checking failures; it doubles as the Analyzer name on the
+	// diagnostics.
+	Stage string
+	// Diags carries every underlying error with its position.
+	Diags []Diagnostic
+}
+
+func (e *LoadError) Error() string {
+	if len(e.Diags) == 1 {
+		return fmt.Sprintf("lint: %s error in %s: %s", e.Stage, e.Path, e.Diags[0])
+	}
+	return fmt.Sprintf("lint: %d %s errors in %s (first: %s)",
+		len(e.Diags), e.Stage, e.Path, e.Diags[0])
+}
 
 // Config tells the loader where source lives and how import paths map
 // to directories.
@@ -174,7 +197,16 @@ func (l *loader) load(path string) (*Package, error) {
 	}
 	tp, _ := conf.Check(path, l.fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+		le := &LoadError{Path: path, Stage: "typecheck"}
+		for _, err := range typeErrs {
+			d := Diagnostic{Analyzer: "typecheck", Message: err.Error()}
+			if te, ok := err.(types.Error); ok {
+				d.Position = te.Fset.Position(te.Pos)
+				d.Message = te.Msg
+			}
+			le.Diags = append(le.Diags, d)
+		}
+		return nil, le
 	}
 	pkg := &Package{
 		Path:  path,
@@ -206,12 +238,27 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 	}
 	sort.Strings(names)
 	files := make([]*ast.File, 0, len(names))
+	le := &LoadError{Path: dir, Stage: "syntax"}
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			// Keep parsing the remaining files so one broken file does
+			// not hide syntax errors elsewhere in the package.
+			if list, ok := err.(scanner.ErrorList); ok {
+				for _, pe := range list {
+					le.Diags = append(le.Diags, Diagnostic{
+						Analyzer: "syntax", Position: pe.Pos, Message: pe.Msg,
+					})
+				}
+			} else {
+				le.Diags = append(le.Diags, Diagnostic{Analyzer: "syntax", Message: err.Error()})
+			}
+			continue
 		}
 		files = append(files, f)
+	}
+	if len(le.Diags) > 0 {
+		return nil, le
 	}
 	return files, nil
 }

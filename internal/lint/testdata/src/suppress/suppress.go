@@ -1,0 +1,43 @@
+// Package suppress exercises the //lint:ignore directive: a justified
+// suppression silences the diagnostic on its own line or the line
+// below, while malformed, unknown, and unused directives are
+// themselves reported — a suppression can never silently outlive the
+// code it excuses.
+package suppress
+
+import "errors"
+
+// ErrGone is a sentinel; comparing it with == is errcmp's finding.
+var ErrGone = errors.New("gone")
+
+// silenced carries a justified suppression above the flagged line: no
+// errcmp finding, no suppress finding.
+func silenced(err error) bool {
+	//lint:ignore errcmp the test doubles in this package return the sentinel unwrapped, so identity comparison is deliberate
+	return err == ErrGone
+}
+
+// trailing suppresses from the flagged line itself.
+func trailing(err error) bool {
+	return err == ErrGone //lint:ignore errcmp legacy callers pass the sentinel through unwrapped
+}
+
+// stale is an unused suppression: the code below uses errors.Is, so
+// the directive suppresses nothing and is reported itself.
+func stale(err error) bool {
+	//lint:ignore errcmp nothing left to excuse -- want `unused //lint:ignore for errcmp`
+	return errors.Is(err, ErrGone)
+}
+
+// bare gives no reason, so it is malformed and suppresses nothing:
+// both the directive and the comparison are reported.
+func bare(err error) bool {
+	/* want `requires an analyzer name and a reason` */ //lint:ignore errcmp
+	return err != ErrGone // want `ErrGone compared with !=`
+}
+
+// unknown names an analyzer that does not exist.
+func unknown(err error) bool {
+	//lint:ignore nosuchcheck the check was renamed long ago; want `unknown analyzer "nosuchcheck"`
+	return errors.Is(err, ErrGone)
+}

@@ -46,7 +46,7 @@ func (e *Engine) RegisterContext(ctx context.Context, m *graph.Model) (string, e
 			return "", err
 		}
 		if delErr := e.store.Delete(id); delErr != nil {
-			return "", fmt.Errorf("sommelier: %w: %q: indexing failed (%v) and rollback failed (%v)",
+			return "", fmt.Errorf("sommelier: %w: %q: indexing failed (%w) and rollback failed (%w)",
 				ErrPublishedUnindexed, id, err, delErr)
 		}
 		return "", err
