@@ -117,9 +117,11 @@ func main() {
 			fatal(err)
 		}
 		srvStore = &clusterStore{cl: cl}
-		opts = append(opts, hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
-			return co.Query(ctx, q)
-		}))
+		opts = append(opts,
+			hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
+				return co.Query(ctx, q)
+			}),
+			hub.WithBatchQuerier(coordinatorBatchQuerier(co)))
 		fmt.Printf("sommhub coordinator over %d shard(s)\n", cl.Shards())
 
 	case *shards > 1 && *shardID < 0:
@@ -137,9 +139,11 @@ func main() {
 			}
 		}
 		srvStore = &clusterStore{cl: cl}
-		opts = append(opts, hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
-			return co.Query(ctx, q)
-		}))
+		opts = append(opts,
+			hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
+				return co.Query(ctx, q)
+			}),
+			hub.WithBatchQuerier(coordinatorBatchQuerier(co)))
 		fmt.Printf("sommhub in-process cluster: %d shards x %d replicas\n", *shards, *replicas)
 
 	default:
@@ -174,7 +178,8 @@ func main() {
 				hub.WithIndexer(eng),
 				hub.WithQuerier(func(ctx context.Context, q string) (any, error) {
 					return eng.QueryContext(ctx, q)
-				}))
+				}),
+				hub.WithBatchQuerier(engineBatchQuerier(eng)))
 		}
 		if *shardID >= 0 {
 			if *shards <= *shardID {
@@ -215,6 +220,48 @@ func main() {
 			fatal(fmt.Errorf("shutdown: %w", err))
 		}
 		fmt.Println("sommhub: stopped cleanly")
+	}
+}
+
+// engineBatchQuerier adapts an engine's batched query path to the hub
+// server's POST /v1/query. Unknown-reference failures carry the
+// machine-readable code a cluster coordinator needs to treat a shard
+// that simply lacks the reference as an empty contribution.
+func engineBatchQuerier(eng *sommelier.Engine) hub.BatchQuerier {
+	return func(ctx context.Context, qs []string) ([]any, []*hub.QueryError) {
+		results, errs := eng.QueryBatchContext(ctx, qs)
+		out := make([]any, len(qs))
+		qerrs := make([]*hub.QueryError, len(qs))
+		for i := range qs {
+			if err := errs[i]; err != nil {
+				qe := &hub.QueryError{Message: err.Error()}
+				if errors.Is(err, sommelier.ErrUnknownReference) {
+					qe.Code = hub.CodeUnknownReference
+				}
+				qerrs[i] = qe
+				continue
+			}
+			out[i] = results[i]
+		}
+		return out, qerrs
+	}
+}
+
+// coordinatorBatchQuerier adapts a cluster coordinator's batched
+// scatter-gather to the hub server's POST /v1/query.
+func coordinatorBatchQuerier(co *cluster.Coordinator) hub.BatchQuerier {
+	return func(ctx context.Context, qs []string) ([]any, []*hub.QueryError) {
+		responses, errs := co.QueryBatch(ctx, qs)
+		out := make([]any, len(qs))
+		qerrs := make([]*hub.QueryError, len(qs))
+		for i := range qs {
+			if err := errs[i]; err != nil {
+				qerrs[i] = &hub.QueryError{Message: err.Error()}
+				continue
+			}
+			out[i] = responses[i]
+		}
+		return out, qerrs
 	}
 }
 

@@ -105,7 +105,10 @@ func (e *Engine) ExplainContext(ctx context.Context, q string) (*Explanation, er
 	if !snap.Contains(refID) {
 		return nil, fmt.Errorf("%w: %q is not indexed", ErrUnknownReference, refID)
 	}
-	refProf, _ := snap.Profile(refID)
+	refProf, ok := snap.Profile(refID)
+	if !ok {
+		return nil, fmt.Errorf("%w: reference model %q", ErrNoProfile, refID)
+	}
 
 	exp := &Explanation{
 		Query:            ast.String(),
@@ -157,11 +160,17 @@ func (e *Engine) ExplainContext(ctx context.Context, q string) (*Explanation, er
 			ok = true
 		}
 		if !ok {
+			e.obs.Counter("query_skipped_no_profile_total").Inc()
 			continue
 		}
 		rejected := false
 		for _, con := range ast.Constraints {
-			if !exactlySatisfies([]query.Constraint{con}, prof, refProf) {
+			keep, err := exactlySatisfies([]query.Constraint{con}, prof, refProf)
+			if err != nil {
+				span.End()
+				return nil, err
+			}
+			if !keep {
 				exp.ResourceRejected[con.String()]++
 				rejected = true
 			}

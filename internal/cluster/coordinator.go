@@ -173,6 +173,190 @@ func (c *Coordinator) Query(ctx context.Context, q string) (*Response, error) {
 	return resp, nil
 }
 
+// QueryBatch runs a batch of queries through one scatter: each shard is
+// visited once per replica attempt with every still-pending query, so a
+// 64-query batch against a healthy cluster costs one round trip per
+// shard instead of 64. The returned slices are index-aligned with qs;
+// errors[i] is non-nil only when query i itself is invalid — shard
+// failures degrade per query through the same ladder as Query (failover
+// → last-known-good → missing) and surface in that query's Response.
+func (c *Coordinator) QueryBatch(ctx context.Context, qs []string) ([]*Response, []error) {
+	c.obs.Counter("cluster_batches_total").Inc()
+	stop := c.obs.Time("cluster_batch_ms")
+	defer stop()
+
+	responses := make([]*Response, len(qs))
+	errs := make([]error, len(qs))
+	parsed := make([]*query.Query, len(qs))
+	valid := make([]int, 0, len(qs))
+	for i, q := range qs {
+		c.obs.Counter("cluster_queries_total").Inc()
+		p, err := query.Parse(q)
+		if err == nil {
+			err = p.Validate()
+		}
+		if err != nil {
+			c.obs.Counter("cluster_query_errors_total").Inc()
+			errs[i] = err
+			continue
+		}
+		parsed[i] = p
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		return responses, errs
+	}
+	sub := make([]string, len(valid))
+	for j, i := range valid {
+		sub[j] = qs[i]
+	}
+
+	shardOuts := make([][]shardOut, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			shardOuts[shard] = c.queryShardBatch(ctx, shard, sub)
+		}(i)
+	}
+	wg.Wait()
+
+	for j, i := range valid {
+		resp := &Response{Shards: len(c.shards)}
+		perShard := make([][]Result, len(c.shards))
+		for s := range c.shards {
+			out := shardOuts[s][j]
+			perShard[s] = out.results
+			resp.Failovers += out.failovers
+			if out.stale {
+				resp.Stale = append(resp.Stale, s)
+			}
+			if out.missing {
+				resp.Missing = append(resp.Missing, s)
+			}
+		}
+		resp.Results = mergeTopK(parsed[i], perShard)
+		switch resp.Class() {
+		case OutcomeDegraded:
+			c.obs.Counter("cluster_degraded_queries").Inc()
+		case OutcomeFailed:
+			c.obs.Counter("cluster_failed_queries_total").Inc()
+		}
+		responses[i] = resp
+	}
+	return responses, errs
+}
+
+// queryShardBatch walks one shard's replicas in preference order with
+// the whole pending set, retrying only the queries a replica failed: a
+// transport-level failure fails the entire pending set over, a
+// per-query error retries just that query on the next replica. Queries
+// still unanswered after the walk fall through to the last-known-good
+// cache, then to missing — the single-query ladder, applied per slot.
+func (c *Coordinator) queryShardBatch(ctx context.Context, shard int, qs []string) []shardOut {
+	stop := c.obs.Time(fmt.Sprintf("cluster_shard%d_query_ms", shard))
+	defer stop()
+	outs := make([]shardOut, len(qs))
+	pending := make([]int, len(qs))
+	for i := range pending {
+		pending[i] = i
+	}
+	for _, r := range c.health.order(shard) {
+		if len(pending) == 0 {
+			break
+		}
+		sub := make([]string, len(pending))
+		for k, p := range pending {
+			sub[k] = qs[p]
+		}
+		attemptCtx, cancel := context.WithTimeout(ctx, c.replicaTimeout)
+		results, qerrs, err := replicaBatch(attemptCtx, c.shards[shard][r], sub)
+		cancel()
+		if err != nil {
+			c.health.fail(shard, r)
+			c.obs.Counter(fmt.Sprintf("cluster_shard%d_errors_total", shard)).Inc()
+			c.obs.Counter("cluster_failover_" + failoverCause(err) + "_total").Inc()
+			for _, p := range pending {
+				outs[p].failovers++
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		still := pending[:0]
+		for k, p := range pending {
+			if qerrs[k] != nil {
+				outs[p].failovers++
+				c.obs.Counter(fmt.Sprintf("cluster_shard%d_errors_total", shard)).Inc()
+				c.obs.Counter("cluster_failover_" + failoverCause(qerrs[k]) + "_total").Inc()
+				still = append(still, p)
+				continue
+			}
+			outs[p].results = results[k]
+			if outs[p].failovers > 0 {
+				c.obs.Counter("cluster_failovers_total").Add(int64(outs[p].failovers))
+			}
+			c.cachePut(shard, qs[p], results[k])
+		}
+		// A replica that answered nothing is as bad as one that did not
+		// answer; one that answered anything stays preferred.
+		if len(still) == len(pending) {
+			c.health.fail(shard, r)
+		} else {
+			c.health.ok(shard, r)
+		}
+		pending = still
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	for _, p := range pending {
+		if res, ok := c.cacheGet(shard, qs[p]); ok {
+			c.obs.Counter("cluster_stale_shards_total").Inc()
+			outs[p].results = res
+			outs[p].stale = true
+		} else {
+			c.obs.Counter("cluster_missing_shards_total").Inc()
+			outs[p].missing = true
+		}
+	}
+	return outs
+}
+
+// replicaBatch runs the pending set against one replica, through its
+// batch surface when it has one and a serial Query loop otherwise. The
+// returned slices are index-aligned with qs; the outer error means the
+// whole attempt failed.
+func replicaBatch(ctx context.Context, b QueryBackend, qs []string) ([][]Result, []error, error) {
+	if bb, ok := b.(BatchQueryBackend); ok {
+		results, qerrs, err := bb.QueryBatch(ctx, qs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(results) != len(qs) || len(qerrs) != len(qs) {
+			return nil, nil, fmt.Errorf("cluster: batch backend returned %d results / %d errors for %d queries",
+				len(results), len(qerrs), len(qs))
+		}
+		return results, qerrs, nil
+	}
+	results := make([][]Result, len(qs))
+	qerrs := make([]error, len(qs))
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := b.Query(ctx, q)
+		if err != nil {
+			qerrs[i] = err
+			continue
+		}
+		results[i] = res
+	}
+	return results, qerrs, nil
+}
+
 // queryShard walks one shard's replicas in preference order, then the
 // lower rungs of the ladder.
 func (c *Coordinator) queryShard(ctx context.Context, shard int, q string) shardOut {

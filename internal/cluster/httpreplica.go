@@ -45,6 +45,58 @@ func (r *HTTPReplica) Query(ctx context.Context, q string) ([]Result, error) {
 	return out, nil
 }
 
+// QueryBatch runs the batch in one POST /v1/query round trip. A hub
+// that does not speak the batch protocol is driven by a serial Query
+// loop instead, so mixed-version clusters keep working. Per-query
+// unknown-reference errors (the hub marks them with a machine-readable
+// code) become empty contributions, exactly like Query's 4xx mapping;
+// any other per-query error is returned in that query's slot so the
+// coordinator can retry just that query on the next replica.
+func (r *HTTPReplica) QueryBatch(ctx context.Context, qs []string) ([][]Result, []error, error) {
+	raws, qerrs, err := r.client.QueryBatch(ctx, qs)
+	if err != nil {
+		if errors.Is(err, hub.ErrBatchUnsupported) {
+			return r.queryBatchSerial(ctx, qs)
+		}
+		return nil, nil, err
+	}
+	results := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	for i := range qs {
+		if qe := qerrs[i]; qe != nil {
+			if qe.Code != hub.CodeUnknownReference {
+				errs[i] = qe
+			}
+			continue
+		}
+		if len(raws[i]) > 0 {
+			if err := json.Unmarshal(raws[i], &results[i]); err != nil {
+				errs[i] = fmt.Errorf("cluster: decoding shard results: %w", err)
+			}
+		}
+	}
+	return results, errs, nil
+}
+
+// queryBatchSerial is the pre-batch-hub fallback: one GET per query
+// through the full Query mapping.
+func (r *HTTPReplica) queryBatchSerial(ctx context.Context, qs []string) ([][]Result, []error, error) {
+	results := make([][]Result, len(qs))
+	errs := make([]error, len(qs))
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := r.Query(ctx, q)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		results[i] = res
+	}
+	return results, errs, nil
+}
+
 // Publish uploads the model. The hub client carries its own timeout;
 // ctx only gates starting the upload.
 func (r *HTTPReplica) Publish(ctx context.Context, m *graph.Model) (string, error) {

@@ -18,6 +18,20 @@ type QueryBackend interface {
 	Query(ctx context.Context, q string) ([]Result, error)
 }
 
+// BatchQueryBackend is the optional batched surface of a QueryBackend:
+// QueryBatch answers every query against one catalog state. results and
+// errs are index-aligned with qs — exactly one of results[i]/errs[i] is
+// meaningful per slot. The outer error is transport-level: the whole
+// attempt failed and nothing per-query is known, so the coordinator
+// fails the entire pending set over to the next replica. Like Query, an
+// unknown reference must surface as an empty answer, not an error.
+// Backends without this surface are driven by a serial Query loop;
+// FaultyReplica deliberately omits it so chaos schedules keep drawing
+// one fault per query, exactly as in the single-query path.
+type BatchQueryBackend interface {
+	QueryBatch(ctx context.Context, qs []string) ([][]Result, []error, error)
+}
+
 // Replica is one replica of one shard: the query surface plus the
 // store surface the Cluster needs for placement, replication, repair
 // and rebalancing. In-process replicas wrap an engine over a private

@@ -56,6 +56,29 @@ func (r *EngineReplica) Query(ctx context.Context, q string) ([]cluster.Result, 
 		}
 		return nil, err
 	}
+	return toClusterResults(rs), nil
+}
+
+// QueryBatch answers the whole batch through the engine's batched
+// query path — one catalog snapshot and one reprofile memo for all
+// queries — with the same unknown-reference-is-empty mapping as Query.
+func (r *EngineReplica) QueryBatch(ctx context.Context, qs []string) ([][]cluster.Result, []error, error) {
+	rss, qerrs := r.eng.QueryBatchContext(ctx, qs)
+	results := make([][]cluster.Result, len(qs))
+	errs := make([]error, len(qs))
+	for i := range qs {
+		if err := qerrs[i]; err != nil {
+			if !errors.Is(err, sommelier.ErrUnknownReference) {
+				errs[i] = err
+			}
+			continue
+		}
+		results[i] = toClusterResults(rss[i])
+	}
+	return results, errs, nil
+}
+
+func toClusterResults(rs []sommelier.Result) []cluster.Result {
 	out := make([]cluster.Result, len(rs))
 	for i, res := range rs {
 		out[i] = cluster.Result{
@@ -68,7 +91,7 @@ func (r *EngineReplica) Query(ctx context.Context, q string) ([]cluster.Result, 
 			Profile:     res.Profile,
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Publish stores and indexes the model, rolling the store back if

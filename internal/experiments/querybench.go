@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"sort"
+	"time"
 
 	"sommelier"
 	"sommelier/internal/obs"
@@ -24,12 +28,23 @@ type QueryBenchConfig struct {
 	// ValidationSize is the probe dataset size per shape.
 	ValidationSize int
 	Seed           uint64
+	// BatchSize is the overlapping-workload size for the batch-vs-serial
+	// comparison; 0 skips it.
+	BatchSize int
+	// BatchRounds is how many times the workload runs in each mode.
+	BatchRounds int
+	// BatchWorkers bounds the batch worker pool (0 = engine default).
+	BatchWorkers int
 }
 
 // DefaultQueryBenchConfig queries a 24-model catalog 50 times per
-// query shape.
+// query shape, then compares an overlapping 64-query batch against a
+// serial loop over the same workload.
 func DefaultQueryBenchConfig() QueryBenchConfig {
-	return QueryBenchConfig{Series: 6, PerSeries: 4, Trunks: 3, Queries: 50, ValidationSize: 200, Seed: 2022}
+	return QueryBenchConfig{
+		Series: 6, PerSeries: 4, Trunks: 3, Queries: 50, ValidationSize: 200, Seed: 2022,
+		BatchSize: 64, BatchRounds: 8,
+	}
 }
 
 // StageLatency is one query stage's latency digest, drawn from the
@@ -43,6 +58,22 @@ type StageLatency struct {
 	Max   float64 `json:"max_ms"`
 }
 
+// BatchLatency compares QueryBatchContext against a serial QueryContext
+// loop over the same overlapping workload: per-round wall-clock
+// percentiles for each mode, and whether the two modes returned
+// byte-identical results every round.
+type BatchLatency struct {
+	BatchSize int `json:"batch_size"`
+	Rounds    int `json:"rounds"`
+	// Workers is the configured pool bound (0 = engine default).
+	Workers   int     `json:"workers"`
+	SerialP50 float64 `json:"serial_p50_ms"`
+	SerialP95 float64 `json:"serial_p95_ms"`
+	BatchP50  float64 `json:"batch_p50_ms"`
+	BatchP95  float64 `json:"batch_p95_ms"`
+	Identical bool    `json:"identical_results"`
+}
+
 // QueryBenchResult reports end-to-end and per-stage query latency
 // percentiles. The JSON form is what `make bench` writes to
 // BENCH_query.json.
@@ -52,6 +83,7 @@ type QueryBenchResult struct {
 	Errors  int64          `json:"query_errors"`
 	Total   StageLatency   `json:"total"`
 	Stages  []StageLatency `json:"stages"`
+	Batch   *BatchLatency  `json:"batch,omitempty"`
 }
 
 // queryStages maps histogram names to report labels, total first.
@@ -85,23 +117,33 @@ func RunQueryBench(ctx context.Context, cfg QueryBenchConfig) (*QueryBenchResult
 		return nil, err
 	}
 	store := repo.NewInMemory()
-	var refID string
+	var refIDs []string
 	for _, s := range series {
-		for _, m := range s.Models {
+		for i, m := range s.Models {
 			id, err := store.Publish(m)
 			if err != nil {
 				return nil, err
 			}
-			if refID == "" {
-				refID = id
+			if i == 0 {
+				refIDs = append(refIDs, id)
 			}
 		}
 	}
+	refID := refIDs[0]
+	// A few reference models are enough overlap for the batch workload.
+	if len(refIDs) > 4 {
+		refIDs = refIDs[:4]
+	}
 	o := obs.New()
-	eng, err := sommelier.NewEngine(store,
+	engOpts := []sommelier.Option{
 		sommelier.WithSeed(cfg.Seed),
 		sommelier.WithValidationSize(cfg.ValidationSize),
-		sommelier.WithObserver(o))
+		sommelier.WithObserver(o),
+	}
+	if cfg.BatchWorkers > 0 {
+		engOpts = append(engOpts, sommelier.WithQueryWorkers(cfg.BatchWorkers))
+	}
+	eng, err := sommelier.NewEngine(store, engOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +190,119 @@ func RunQueryBench(ctx context.Context, cfg QueryBenchConfig) (*QueryBenchResult
 			res.Stages = append(res.Stages, sl)
 		}
 	}
+	// The comparison runs after the snapshot above, so the per-stage
+	// percentiles stay a pure measurement of the serial shape loop.
+	if cfg.BatchSize > 0 && cfg.BatchRounds > 0 {
+		bl, err := runBatchCompare(ctx, eng, refIDs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Batch = bl
+	}
 	return res, nil
+}
+
+// batchWorkload builds n overlapping queries: the three Figure 7 shapes
+// plus an EXEC re-profiling shape, cycled across several reference
+// models so each distinct query recurs within one batch — the workload
+// batching is built to amortize (one snapshot, one parse pass, shared
+// re-profile memo).
+func batchWorkload(refIDs []string, n int) []string {
+	shapes := []func(ref string) string{
+		func(ref string) string { return fmt.Sprintf("SELECT CORR %q WITHIN 85%% PICK most_similar", ref) },
+		func(ref string) string {
+			return fmt.Sprintf("SELECT CORR %q WITHIN 85%% ON memory <= 120%% PICK smallest", ref)
+		},
+		func(ref string) string {
+			return fmt.Sprintf("SELECT CORR %q WITHIN 90%% ON flops <= 150%% PICK most_similar", ref)
+		},
+		func(ref string) string {
+			return fmt.Sprintf("SELECT CORR %q WITHIN 80%% ON latency <= 300%% EXEC batch=8 PICK fastest", ref)
+		},
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = shapes[i%len(shapes)](refIDs[(i/len(shapes))%len(refIDs)])
+	}
+	return out
+}
+
+// runBatchCompare times the workload through a serial QueryContext loop
+// and through QueryBatchContext, round-robin, and checks each round
+// that the two modes return byte-identical results.
+func runBatchCompare(ctx context.Context, eng *sommelier.Engine, refIDs []string, cfg QueryBenchConfig) (*BatchLatency, error) {
+	workload := batchWorkload(refIDs, cfg.BatchSize)
+	serialOnce := func() ([][]sommelier.Result, error) {
+		out := make([][]sommelier.Result, len(workload))
+		for i, q := range workload {
+			rs, err := eng.QueryContext(ctx, q)
+			if err != nil {
+				return nil, fmt.Errorf("serial query %q: %w", q, err)
+			}
+			out[i] = rs
+		}
+		return out, nil
+	}
+	batchOnce := func() ([][]sommelier.Result, error) {
+		rss, errs := eng.QueryBatchContext(ctx, workload)
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("batched query %q: %w", workload[i], err)
+			}
+		}
+		return rss, nil
+	}
+	// One untimed warmup per mode so neither pays first-touch costs.
+	if _, err := serialOnce(); err != nil {
+		return nil, err
+	}
+	if _, err := batchOnce(); err != nil {
+		return nil, err
+	}
+	bl := &BatchLatency{
+		BatchSize: len(workload), Rounds: cfg.BatchRounds,
+		Workers: cfg.BatchWorkers, Identical: true,
+	}
+	serialMS := make([]float64, 0, cfg.BatchRounds)
+	batchMS := make([]float64, 0, cfg.BatchRounds)
+	for r := 0; r < cfg.BatchRounds; r++ {
+		start := time.Now()
+		sres, err := serialOnce()
+		if err != nil {
+			return nil, err
+		}
+		serialMS = append(serialMS, float64(time.Since(start).Nanoseconds())/1e6)
+		start = time.Now()
+		bres, err := batchOnce()
+		if err != nil {
+			return nil, err
+		}
+		batchMS = append(batchMS, float64(time.Since(start).Nanoseconds())/1e6)
+		sb, err := json.Marshal(sres)
+		if err != nil {
+			return nil, err
+		}
+		bb, err := json.Marshal(bres)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(sb, bb) {
+			bl.Identical = false
+		}
+	}
+	bl.SerialP50, bl.SerialP95 = pct(serialMS, 0.50), pct(serialMS, 0.95)
+	bl.BatchP50, bl.BatchP95 = pct(batchMS, 0.50), pct(batchMS, 0.95)
+	return bl, nil
+}
+
+// pct returns the p-quantile of the samples by nearest rank.
+func pct(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[int(p*float64(len(s)-1)+0.5)]
 }
 
 // Report renders the paper-style summary block.
@@ -167,6 +321,17 @@ func (r *QueryBenchResult) Report() Report {
 	for _, s := range r.Stages {
 		rep.Lines = append(rep.Lines,
 			line("%-12s %7.3fms %7.3fms %7.3fms %7.3fms", s.Stage, s.P50, s.P95, s.P99, s.Max))
+	}
+	if b := r.Batch; b != nil {
+		identical := "identical"
+		if !b.Identical {
+			identical = "DIVERGED"
+		}
+		rep.Lines = append(rep.Lines,
+			line("batch of %d x %d rounds (%s results):", b.BatchSize, b.Rounds, identical),
+			line("%-12s %7.3fms %7.3fms", "serial loop", b.SerialP50, b.SerialP95),
+			line("%-12s %7.3fms %7.3fms", "batched", b.BatchP50, b.BatchP95),
+		)
 	}
 	return rep
 }

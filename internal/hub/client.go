@@ -414,6 +414,64 @@ func (c *Client) Query(ctx context.Context, q string) (_ json.RawMessage, err er
 	return raw, nil
 }
 
+// ErrBatchUnsupported is wrapped by QueryBatch when the hub does not
+// speak the batched POST /v1/query protocol (pre-batch hubs answer 404,
+// 405, or 501). Callers that hold the query strings can fall back to a
+// serial Query loop; HTTPReplica does exactly that.
+var ErrBatchUnsupported = errors.New("hub: batched query not supported by this hub")
+
+// QueryBatch runs a batch of Sommelier queries in one POST /v1/query
+// round trip and returns per-query raw results and per-query errors,
+// both index-aligned with qs (exactly one of results[i]/qerrs[i] is
+// set). The overall error is transport-level: the whole batch failed,
+// nothing per-query is known. The POST is read-only, so it goes through
+// the same retry/breaker machinery as Query.
+func (c *Client) QueryBatch(ctx context.Context, qs []string) (_ []json.RawMessage, _ []*QueryError, err error) {
+	done := c.timeOp("query_batch")
+	defer func() { done(err) }()
+	if len(qs) == 0 {
+		return nil, nil, fmt.Errorf("hub: empty query batch")
+	}
+	body, err := json.Marshal(batchRequest{Queries: qs})
+	if err != nil {
+		return nil, nil, fmt.Errorf("hub: encoding batch: %w", err)
+	}
+	var wire struct {
+		Results []json.RawMessage `json:"results"`
+		Errors  []*QueryError     `json:"errors"`
+	}
+	err = c.do(true,
+		func() (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			if err := expectStatus(resp, http.StatusOK); err != nil {
+				return err
+			}
+			return json.NewDecoder(resp.Body).Decode(&wire)
+		})
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			switch se.Code {
+			case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+				return nil, nil, fmt.Errorf("%w: %w", ErrBatchUnsupported, err)
+			}
+		}
+		return nil, nil, fmt.Errorf("hub: query batch: %w", err)
+	}
+	if len(wire.Results) != len(qs) || len(wire.Errors) != len(qs) {
+		return nil, nil, fmt.Errorf("hub: query batch: hub returned %d results / %d errors for %d queries",
+			len(wire.Results), len(wire.Errors), len(qs))
+	}
+	return wire.Results, wire.Errors, nil
+}
+
 // Publish uploads a model and returns its hub ID. Publishes are not
 // retried — PUT against a bare-bone hub is not guaranteed idempotent.
 func (c *Client) Publish(m *graph.Model) (_ string, err error) {

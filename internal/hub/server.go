@@ -16,6 +16,8 @@
 //	DELETE /v1/models/{id}     — remove a model
 //	HEAD/GET/PUT /v1/chunks/{hash} — probe/fetch/upload one tensor chunk
 //	GET  /v1/query?q=…         — run a Sommelier query (JSON; needs WithQuerier)
+//	POST /v1/query             — run a query batch ({"queries":[…]} body;
+//	                             needs WithQuerier or WithBatchQuerier)
 //	GET  /v1/metrics           — observability snapshot (JSON; needs WithObserver)
 //	GET  /v1/tracez            — recent spans, oldest first (JSON; needs WithObserver)
 //	GET  /v1/healthz           — liveness + model count (JSON)
@@ -62,6 +64,32 @@ type Indexer interface {
 // this package free of an upward dependency on the root engine.
 type Querier func(ctx context.Context, q string) (any, error)
 
+// QueryError is the wire form of one failed query in a batch. Code
+// carries machine-readable classifications a remote caller needs to
+// branch on without string matching; the only code this package
+// defines is CodeUnknownReference.
+type QueryError struct {
+	Message string `json:"message"`
+	Code    string `json:"code,omitempty"`
+}
+
+// CodeUnknownReference marks a per-query failure whose cause is that
+// the answering catalog does not hold the query's reference model — an
+// expected per-shard condition in a sharded deployment, which cluster
+// coordinators convert into an empty shard contribution.
+const CodeUnknownReference = "unknown_reference"
+
+// Error implements error.
+func (e *QueryError) Error() string { return e.Message }
+
+// BatchQuerier answers query batches for POST /v1/query: results and
+// errors are aligned with the input by index, exactly one of
+// results[i]/errs[i] meaningful per slot. *sommelier.Engine's
+// QueryBatchContext fits after a small adaptation (see cmd/sommhub).
+// When only a Querier is configured the server loops it instead, so
+// the batch endpoint works against any query-enabled hub.
+type BatchQuerier func(ctx context.Context, qs []string) ([]any, []*QueryError)
+
 // DefaultMaxBodyBytes caps PUT bodies; a bare-bone hub should not be
 // taken down by one oversized (or unbounded) upload.
 const DefaultMaxBodyBytes int64 = 64 << 20
@@ -91,6 +119,13 @@ func WithQuerier(q Querier) ServerOption {
 	return func(s *Server) { s.querier = q }
 }
 
+// WithBatchQuerier enables the batched form of POST /v1/query to be
+// answered natively (one snapshot, shared scratch state) instead of by
+// looping the single-query Querier.
+func WithBatchQuerier(bq BatchQuerier) ServerOption {
+	return func(s *Server) { s.batchQuerier = bq }
+}
+
 // WithShardInfo declares the server's place in a shard cluster: this
 // node serves shard `shard` of `shards`. The identity is reported in
 // /v1/healthz so coordinators and operators can confirm a node serves
@@ -117,7 +152,10 @@ type Server struct {
 	maxBody int64
 	indexer Indexer
 	querier Querier
-	obs     *obs.Observer
+	// batchQuerier answers POST /v1/query natively; when nil the server
+	// loops querier per batch element instead.
+	batchQuerier BatchQuerier
+	obs          *obs.Observer
 	// shard/shards identify this node's partition when it runs as part
 	// of a cluster; shards == 0 means standalone.
 	shard, shards int
@@ -250,7 +288,12 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		s.serveQueryBatch(w, r)
+		return
+	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -272,6 +315,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewEncoder(w).Encode(map[string]any{"query": q, "results": res}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// batchRequest/batchResponse are the POST /v1/query wire forms. The
+// response arrays are index-aligned with the request: for every i
+// exactly one of results[i] (non-null) and errors[i] (non-null) holds.
+type batchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+type batchResponse struct {
+	Results []any         `json:"results"`
+	Errors  []*QueryError `json:"errors"`
+}
+
+func (s *Server) serveQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if s.querier == nil && s.batchQuerier == nil {
+		http.Error(w, "query endpoint not enabled on this hub", http.StatusNotImplemented)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty query batch", http.StatusBadRequest)
+		return
+	}
+	results, qerrs := s.runBatch(r.Context(), req.Queries)
+	if len(results) != len(req.Queries) || len(qerrs) != len(req.Queries) {
+		http.Error(w, "batch querier returned misaligned results", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(batchResponse{Results: results, Errors: qerrs}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runBatch answers a batch through the native BatchQuerier when one is
+// configured, else by looping the single-query Querier. Per-query
+// failures never fail the batch.
+func (s *Server) runBatch(ctx context.Context, qs []string) ([]any, []*QueryError) {
+	if s.batchQuerier != nil {
+		return s.batchQuerier(ctx, qs)
+	}
+	results := make([]any, len(qs))
+	qerrs := make([]*QueryError, len(qs))
+	for i, q := range qs {
+		res, err := s.querier(ctx, q)
+		if err != nil {
+			qerrs[i] = &QueryError{Message: err.Error()}
+			continue
+		}
+		results[i] = res
+	}
+	return results, qerrs
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

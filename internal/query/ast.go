@@ -97,7 +97,10 @@ func (q *Query) Validate() error {
 	if q.Limit < 0 {
 		return fmt.Errorf("query: negative LIMIT")
 	}
-	seen := map[Metric]bool{}
+	// A metric may appear in several constraints — they AND together,
+	// so ranges (MEM > 10MB AND MEM < 100MB) and redundant bounds are
+	// both well-defined; executors must take the tightest bound per
+	// metric when building prefilter budgets.
 	for _, c := range q.Constraints {
 		switch c.Metric {
 		case MetricMemory, MetricFLOPs, MetricLatency:
@@ -107,10 +110,6 @@ func (q *Query) Validate() error {
 		if c.Value < 0 {
 			return fmt.Errorf("query: negative constraint value in %s", c)
 		}
-		if seen[c.Metric] {
-			return fmt.Errorf("query: metric %s constrained twice", c.Metric)
-		}
-		seen[c.Metric] = true
 		if err := validUnit(c); err != nil {
 			return err
 		}

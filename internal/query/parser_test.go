@@ -109,7 +109,6 @@ func TestParseErrors(t *testing.T) {
 		{`SELECT CORR m WITHIN 150%`, "outside [0,1]"},
 		{`SELECT CORR m ON memory memory`, "expected a comparison"},
 		{`SELECT CORR m ON weight < 5`, "unknown metric"},
-		{`SELECT CORR m ON memory < 5 AND memory < 6`, "constrained twice"},
 		{`SELECT CORR m PICK banana`, "unknown PICK"},
 		{`SELECT CORR m LIMIT x`, "expected LIMIT count"},
 		{`SELECT CORR m ON latency < 5 GB`, "not valid for metric"},
@@ -125,6 +124,25 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("Parse(%q) error = %v, want %q", c.in, err, c.want)
 		}
+	}
+}
+
+// A metric may be constrained more than once: the constraints AND
+// together, which makes both ranges and redundant bounds legal. The
+// engine takes the tightest bound per metric when building budgets.
+func TestDuplicateMetricConstraintsAllowed(t *testing.T) {
+	q, err := Parse(`SELECT CORR m ON memory < 50 MB AND memory < 100 MB`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Constraints) != 2 {
+		t.Fatalf("Constraints = %+v", q.Constraints)
+	}
+	if q, err = Parse(`SELECT CORR m ON memory > 10 MB AND memory < 100 MB`); err != nil {
+		t.Fatalf("range constraint rejected: %v", err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
 	}
 }
 

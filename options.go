@@ -19,6 +19,9 @@ type Option func(*engineConfig)
 type engineConfig struct {
 	cat catalog.Config
 	obs *obs.Observer
+	// queryWorkers bounds QueryBatchContext's execution pool; 0 means
+	// runtime.GOMAXPROCS(0).
+	queryWorkers int
 }
 
 // WithSeed sets the seed driving every random choice; equal seeds give
@@ -62,6 +65,15 @@ func WithSampleSize(n int) Option {
 // count never changes indexing results — only how fast they arrive.
 func WithIndexWorkers(n int) Option {
 	return func(c *engineConfig) { c.cat.Workers = n }
+}
+
+// WithQueryWorkers bounds how many queries of one QueryBatchContext
+// batch execute concurrently. Zero means runtime.GOMAXPROCS(0). The
+// worker count never changes batch results — only how fast they
+// arrive; every query still runs its own full pipeline against the
+// batch's shared snapshot.
+func WithQueryWorkers(n int) Option {
+	return func(c *engineConfig) { c.queryWorkers = n }
 }
 
 // WithLatencyTable overrides the per-operator latency table.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"sommelier/internal/catalog"
 	"sommelier/internal/equiv"
@@ -22,6 +23,15 @@ import (
 // coordinator checks for it with errors.Is and records an empty
 // contribution from the shard.
 var ErrUnknownReference = errors.New("sommelier: reference model not in this catalog")
+
+// ErrNoProfile is wrapped by query errors whose cause is an indexed
+// model with no resource profile — an index inconsistency, since the
+// pipeline profiles every model it commits. A *reference* model without
+// a profile fails the query with this error; a *candidate* without one
+// is skipped and counted in query_skipped_no_profile_total instead of
+// competing with a zero-valued profile it would trivially win resource
+// ranking with.
+var ErrNoProfile = errors.New("sommelier: indexed model has no resource profile")
 
 // QueryContext parses and executes a query string. The whole query —
 // parse → candidates → filter → rank — is traced as one span tree and
@@ -63,34 +73,45 @@ func (e *Engine) QueryAST(q *query.Query) ([]Result, error) {
 	return e.QueryASTContext(context.Background(), q)
 }
 
-// queryAST is the shared execution body. ctx carries the caller's
-// root query span; each stage opens a child span and feeds the
-// matching histogram.
+// queryAST is the shared single-query execution body: one fresh
+// snapshot, one fresh reprofile memo. Batches share both across
+// queries instead (see batch.go); the per-query execution is the same
+// queryOne either way, which is what makes batch answers byte-identical
+// to serial ones.
 func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error) {
-	e.obs.Counter("queries_total").Inc()
-	if err := q.Validate(); err != nil {
+	results, err := e.queryOne(ctx, e.cat.Snapshot(), q, catalog.NewReprofileMemo())
+	if err != nil {
 		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
-	snap := e.cat.Snapshot()
+	return results, nil
+}
 
+// queryOne executes one parsed query against an already-acquired
+// snapshot. ctx carries the caller's root query span; each stage opens
+// a child span and feeds the matching histogram. memo deduplicates
+// EXEC re-profiling work; callers executing a batch pass one memo for
+// the whole batch.
+func (e *Engine) queryOne(ctx context.Context, snap *catalog.Snapshot, q *query.Query,
+	memo *catalog.ReprofileMemo) ([]Result, error) {
+	e.obs.Counter("queries_total").Inc()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	refID := q.Ref
 	if refID == "" {
 		id, ok := snap.DefaultReference(q.Task)
 		if !ok {
-			e.obs.Counter("query_errors_total").Inc()
 			return nil, fmt.Errorf("%w: no default reference for task %q", ErrUnknownReference, q.Task)
 		}
 		refID = id
 	}
 	if !snap.Contains(refID) {
-		e.obs.Counter("query_errors_total").Inc()
 		return nil, fmt.Errorf("%w: %q is not indexed", ErrUnknownReference, refID)
 	}
 	refProf, ok := snap.Profile(refID)
 	if !ok {
-		e.obs.Counter("query_errors_total").Inc()
-		return nil, fmt.Errorf("sommelier: reference model %q has no resource profile", refID)
+		return nil, fmt.Errorf("%w: reference model %q", ErrNoProfile, refID)
 	}
 
 	// Stage 1: semantic filter.
@@ -98,7 +119,6 @@ func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error)
 	cands, err := snap.Lookup(refID, q.Threshold)
 	e.obs.Histogram("query_candidates_ms").Observe(span.End())
 	if err != nil {
-		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 
@@ -107,38 +127,19 @@ func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error)
 	// without one, the indexed default-setting profiles apply.
 	setting, reprofile, err := execSetting(q.Exec)
 	if err != nil {
-		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
-	profileOf := func(id string) (resource.Profile, error) {
-		if !reprofile {
-			p, _ := snap.Profile(id)
-			return p, nil
-		}
-		m, err := e.store.Load(id)
-		if err != nil {
-			return resource.Profile{}, err
-		}
-		return e.cat.Profiler().MeasureWith(m, setting)
-	}
 	if reprofile {
-		if refProf, err = profileOf(refID); err != nil {
-			e.obs.Counter("query_errors_total").Inc()
+		if refProf, err = e.reprofile(refID, setting, memo); err != nil {
 			return nil, err
 		}
 	}
 
-	// Stage 2: resource filter. Build the absolute budget vector from
-	// the constraints (relative values scale the reference profile),
-	// retrieve profile-feasible IDs via the LSH index, and intersect.
-	// Under an EXEC spec the LSH prefilter is skipped — the indexed
-	// vectors describe the default setting — and the exact per-candidate
-	// check below is authoritative.
+	// Stage 2: resource filter, cost-ordered (see resourceFilter).
 	_, span = e.obs.StartSpan(ctx, "filter", "")
-	results, err := e.resourceFilter(q, snap, cands, refProf, reprofile, profileOf)
+	results, err := e.resourceFilter(ctx, q, snap, cands, refProf, reprofile, setting, memo)
 	e.obs.Histogram("query_filter_ms").Observe(span.End())
 	if err != nil {
-		e.obs.Counter("query_errors_total").Inc()
 		return nil, err
 	}
 
@@ -152,15 +153,58 @@ func (e *Engine) queryAST(ctx context.Context, q *query.Query) ([]Result, error)
 	return results, nil
 }
 
-// resourceFilter is stage 2: intersect the semantic candidates with the
-// LSH-feasible set, then re-check every constraint exactly.
-func (e *Engine) resourceFilter(q *query.Query, snap *catalog.Snapshot, cands []index.Candidate,
-	refProf resource.Profile, reprofile bool, profileOf func(string) (resource.Profile, error)) ([]Result, error) {
+// reprofile measures one model under an EXEC setting through the memo:
+// the expensive store.Load + MeasureWith round trip runs at most once
+// per (model, setting) per memo, no matter how many queries of a batch
+// share the candidate.
+func (e *Engine) reprofile(id string, setting resource.ExecSetting,
+	memo *catalog.ReprofileMemo) (resource.Profile, error) {
+	return memo.Profile(catalog.ReprofileKey{ID: id, Setting: setting},
+		func() (resource.Profile, error) {
+			m, err := e.store.Load(id)
+			if err != nil {
+				return resource.Profile{}, err
+			}
+			return e.cat.Profiler().MeasureWith(m, setting)
+		})
+}
+
+// feasiblePool recycles the per-query feasibility sets — the scratch
+// buffer every stage-2 pass allocates — across the queries of a batch
+// (and across batches).
+var feasiblePool = sync.Pool{
+	New: func() any { return make(map[string]bool) },
+}
+
+// resourceFilter is stage 2, cost-ordered: every cheap check runs
+// before any expensive one.
+//
+//  1. Budget construction and the LSH prefilter (indexed default
+//     profiles) — pure index math, no model bytes touched.
+//  2. The cheap pass: candidate ∩ feasible intersection and, for
+//     default-setting queries, indexed-profile constraint checks.
+//     Nothing in this pass calls store.Load.
+//  3. The expensive pass (EXEC queries only): survivors are loaded and
+//     re-measured through the batch memo, then checked exactly.
+//
+// Both passes re-check ctx between candidates, so cancelling the query
+// actually stops the work instead of letting the loop grind through
+// the remaining candidates.
+func (e *Engine) resourceFilter(ctx context.Context, q *query.Query, snap *catalog.Snapshot,
+	cands []index.Candidate, refProf resource.Profile, reprofile bool,
+	setting resource.ExecSetting, memo *catalog.ReprofileMemo) ([]Result, error) {
 	budget, err := budgetFrom(q.Constraints, refProf)
 	if err != nil {
 		return nil, err
 	}
-	feasible := make(map[string]bool)
+	feasible := feasiblePool.Get().(map[string]bool)
+	defer func() {
+		clear(feasible)
+		feasiblePool.Put(feasible)
+	}()
+	// Under an EXEC spec the LSH prefilter is skipped — the indexed
+	// vectors describe the default setting — and the exact re-measured
+	// check below is authoritative.
 	if len(q.Constraints) == 0 || reprofile {
 		for _, c := range cands {
 			feasible[candProfileID(c)] = true
@@ -175,34 +219,81 @@ func (e *Engine) resourceFilter(q *query.Query, snap *catalog.Snapshot, cands []
 		}
 	}
 
+	// Cheap pass. EXEC queries only collect survivors here; everything
+	// else resolves fully against indexed profiles without touching the
+	// store.
 	var results []Result
+	var expensive []index.Candidate
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pid := candProfileID(c)
 		if !feasible[pid] {
 			continue
 		}
-		prof, err := profileOf(pid)
+		if reprofile {
+			expensive = append(expensive, c)
+			continue
+		}
+		prof, ok := snap.Profile(pid)
+		if !ok {
+			// An indexed candidate without a profile must not compete
+			// with a zero-valued one — it would trivially satisfy every
+			// upper bound and win PICK SMALLEST/FASTEST/CHEAPEST.
+			e.obs.Counter("query_skipped_no_profile_total").Inc()
+			continue
+		}
+		keep, err := exactlySatisfies(q.Constraints, prof, refProf)
 		if err != nil {
 			return nil, err
 		}
-		if !exactlySatisfies(q.Constraints, prof, refProf) {
+		if !keep {
 			continue
 		}
-		results = append(results, Result{
-			ID:          pid,
-			Level:       c.Level,
-			Synthesized: c.Kind == index.KindSynthesized,
-			DonorID:     c.DonorID,
-			Segment:     c.Segment,
-			Derived:     c.Derived,
-			Profile:     prof,
-		})
+		results = append(results, candResult(c, prof))
+	}
+
+	// Expensive pass: only EXEC-query survivors reach the store.
+	for _, c := range expensive {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pid := candProfileID(c)
+		prof, err := e.reprofile(pid, setting, memo)
+		if err != nil {
+			return nil, err
+		}
+		keep, err := exactlySatisfies(q.Constraints, prof, refProf)
+		if err != nil {
+			return nil, err
+		}
+		if !keep {
+			continue
+		}
+		results = append(results, candResult(c, prof))
 	}
 	return results, nil
 }
 
+// candResult builds the engine result for one surviving candidate.
+func candResult(c index.Candidate, prof resource.Profile) Result {
+	return Result{
+		ID:          candProfileID(c),
+		Level:       c.Level,
+		Synthesized: c.Kind == index.KindSynthesized,
+		DonorID:     c.DonorID,
+		Segment:     c.Segment,
+		Derived:     c.Derived,
+		Profile:     prof,
+	}
+}
+
 // TopEquivalents returns the reference's K best semantic candidates — the
-// primitive behind the DNN-testing case study and Figure 13.
+// primitive behind the DNN-testing case study and Figure 13. Candidates
+// missing a resource profile are skipped (and counted in
+// query_skipped_no_profile_total) rather than returned with a
+// zero-valued profile.
 func (e *Engine) TopEquivalents(refID string, k int) ([]Result, error) {
 	snap := e.cat.Snapshot()
 	cands, err := snap.TopK(refID, k)
@@ -211,7 +302,11 @@ func (e *Engine) TopEquivalents(refID string, k int) ([]Result, error) {
 	}
 	out := make([]Result, 0, len(cands))
 	for _, c := range cands {
-		prof, _ := snap.Profile(c.ID)
+		prof, ok := snap.Profile(c.ID)
+		if !ok {
+			e.obs.Counter("query_skipped_no_profile_total").Inc()
+			continue
+		}
 		out = append(out, Result{
 			ID: c.ID, Level: c.Level,
 			Synthesized: c.Kind == index.KindSynthesized,
@@ -308,8 +403,18 @@ func execSetting(exec map[string]string) (resource.ExecSetting, bool, error) {
 }
 
 // budgetFrom converts upper-bound constraints into an absolute Budget.
+// A metric bounded more than once (MEM < 50MB AND MEM < 100MB) takes
+// the tightest bound — resolving duplicates last-write-wins would let
+// the write order loosen the LSH prefilter beyond what the query
+// states.
 func budgetFrom(cs []query.Constraint, ref resource.Profile) (index.Budget, error) {
 	var b index.Budget
+	tighten := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
 	for _, c := range cs {
 		if c.Op == query.OpGT || c.Op == query.OpGE {
 			continue // lower bounds are enforced by exactlySatisfies
@@ -320,11 +425,11 @@ func budgetFrom(cs []query.Constraint, ref resource.Profile) (index.Budget, erro
 		}
 		switch c.Metric {
 		case query.MetricMemory:
-			b.MaxMemoryBytes = int64(v)
+			b.MaxMemoryBytes = int64(tighten(float64(b.MaxMemoryBytes), v))
 		case query.MetricFLOPs:
-			b.MaxFLOPs = int64(v)
+			b.MaxFLOPs = int64(tighten(float64(b.MaxFLOPs), v))
 		case query.MetricLatency:
-			b.MaxLatencyMS = v
+			b.MaxLatencyMS = tighten(b.MaxLatencyMS, v)
 		}
 	}
 	return b, nil
@@ -360,12 +465,15 @@ func absoluteValue(c query.Constraint, ref resource.Profile) (float64, error) {
 }
 
 // exactlySatisfies re-checks every constraint (including lower bounds and
-// strict inequalities) against a candidate profile.
-func exactlySatisfies(cs []query.Constraint, p, ref resource.Profile) bool {
+// strict inequalities) against a candidate profile. A constraint that
+// cannot be resolved to an absolute value is an error, not a silent
+// rejection — swallowing it would drop candidates without a trace on
+// malformed constraints that Validate missed.
+func exactlySatisfies(cs []query.Constraint, p, ref resource.Profile) (bool, error) {
 	for _, c := range cs {
 		limit, err := absoluteValue(c, ref)
 		if err != nil {
-			return false
+			return false, err
 		}
 		var v float64
 		switch c.Metric {
@@ -379,28 +487,28 @@ func exactlySatisfies(cs []query.Constraint, p, ref resource.Profile) bool {
 		switch c.Op {
 		case query.OpLT:
 			if !(v < limit) {
-				return false
+				return false, nil
 			}
 		case query.OpLE:
 			if !(v <= limit) {
-				return false
+				return false, nil
 			}
 		case query.OpGT:
 			if !(v > limit) {
-				return false
+				return false, nil
 			}
 		case query.OpGE:
 			if !(v >= limit) {
-				return false
+				return false, nil
 			}
 		case query.OpEQ:
 			// Equality on continuous profiles means "within 5%".
 			if v < limit*0.95 || v > limit*1.05 {
-				return false
+				return false, nil
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 func sortResults(rs []Result, pick query.PickKind) {

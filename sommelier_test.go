@@ -357,19 +357,27 @@ func TestExactlySatisfiesOperators(t *testing.T) {
 		{Metric: query.MetricMemory, Op: query.OpLT, Value: 60, Unit: query.UnitRelative},
 		{Metric: query.MetricFLOPs, Op: query.OpGE, Value: 50, Unit: query.UnitRelative},
 	}
-	if !exactlySatisfies(cs, p, ref) {
+	mustSatisfy := func(cs []query.Constraint) bool {
+		t.Helper()
+		keep, err := exactlySatisfies(cs, p, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return keep
+	}
+	if !mustSatisfy(cs) {
 		t.Fatal("satisfying profile rejected")
 	}
 	cs[0].Value = 40
-	if exactlySatisfies(cs, p, ref) {
+	if mustSatisfy(cs) {
 		t.Fatal("violating profile accepted")
 	}
 	eq := []query.Constraint{{Metric: query.MetricLatency, Op: query.OpEQ, Value: 50, Unit: query.UnitRelative}}
-	if !exactlySatisfies(eq, p, ref) {
+	if !mustSatisfy(eq) {
 		t.Fatal("equality within band rejected")
 	}
 	eq[0].Value = 80
-	if exactlySatisfies(eq, p, ref) {
+	if mustSatisfy(eq) {
 		t.Fatal("equality outside band accepted")
 	}
 }
