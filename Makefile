@@ -38,16 +38,19 @@ check: vet lint race benchdiff
 
 # bench runs the Go micro-benchmarks, then the serial-vs-parallel
 # indexing benchmark, the query-latency benchmark, the cluster
-# scatter-gather load harness, and the content-addressed storage
-# harness, leaving their machine-readable results in BENCH_index.json,
-# BENCH_query.json, BENCH_cluster.json and BENCH_store.json (latency
-# percentiles come from the *_ms histograms).
+# scatter-gather load harness, the content-addressed storage harness,
+# and the serving-cluster matrix, leaving their machine-readable
+# results in BENCH_index.json, BENCH_query.json, BENCH_cluster.json,
+# BENCH_store.json and BENCH_serving.json (latency percentiles come
+# from the *_ms histograms; the serving numbers are virtual-time and
+# therefore exact — a p95 shift there is a semantic change, not noise).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 	$(GO) run ./cmd/sommbench -exp indexbench -index-out BENCH_index.json
 	$(GO) run ./cmd/sommbench -exp querybench -query-out BENCH_query.json
 	$(GO) run ./cmd/sommbench -exp clusterbench -cluster-out BENCH_cluster.json
 	$(GO) run ./cmd/sommbench -exp storebench -store-out BENCH_store.json
+	$(GO) run ./cmd/sommbench -exp servebench -serving-out BENCH_serving.json
 
 # benchdiff fails when a freshly generated BENCH_*.json shows a p95
 # latency more than 20% (and more than a noise floor) worse than the

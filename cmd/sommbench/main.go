@@ -34,11 +34,12 @@ type runner struct {
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (fig3,fig9a,fig9b,fig9c,fig10,fig11,fig12a,fig12b,fig13,table1,table2,table3,table4,ablations,indexbench,querybench,clusterbench,storebench) or 'all'")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (fig3,fig9a,fig9b,fig9c,fig10,fig11,fig12a,fig12b,fig13,table1,table2,table3,table4,ablations,indexbench,querybench,clusterbench,storebench,servebench) or 'all'")
 		indexOut    = flag.String("index-out", "", "write the indexbench result as JSON to this file")
 		queryOut    = flag.String("query-out", "", "write the querybench result as JSON to this file")
 		clusterOut  = flag.String("cluster-out", "", "write the clusterbench result as JSON to this file")
 		storeOut    = flag.String("store-out", "", "write the storebench result as JSON to this file")
+		servingOut  = flag.String("serving-out", "", "write the servebench result as JSON to this file")
 		table2Scale = flag.Float64("table2scale", 0.02, "fraction of the paper's model sizes for table2 (1.0 = full 62M..340M parameters)")
 		fig13Full   = flag.Bool("fig13full", false, "run fig13 on the full 30-series/163-model catalog")
 		seed        = flag.Uint64("seed", 2022, "base random seed")
@@ -198,6 +199,25 @@ func main() {
 					return nil, err
 				}
 				fmt.Printf("wrote %s\n", *storeOut)
+			}
+			return r.Report(), nil
+		}},
+		{"servebench", func() (fmt.Stringer, error) {
+			cfg := experiments.DefaultServeBenchConfig()
+			cfg.Seed = *seed
+			r, err := experiments.RunServeBench(context.Background(), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if *servingOut != "" {
+				data, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(*servingOut, append(data, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+				fmt.Printf("wrote %s\n", *servingOut)
 			}
 			return r.Report(), nil
 		}},

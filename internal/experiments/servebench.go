@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"sommelier/internal/faults"
+	"sommelier/internal/serving"
+	"sommelier/internal/serving/cluster"
+)
+
+// ServeBenchConfig scales the serving-cluster benchmark: a policy ×
+// router scenario matrix over the multi-instance simulator, each cell
+// driven by the same seeded Zipf/Gamma workload with a mid-run instance
+// kill, reporting per-class tail latency, SLO attainment and fairness.
+// Simulation time is virtual, so the committed numbers are exactly
+// reproducible — a changed p95 in BENCH_serving.json is a semantic
+// change to the simulator or its policies, not measurement noise.
+type ServeBenchConfig struct {
+	Instances int
+	// Requests is the per-cell workload length.
+	Requests int
+	// MeanArrivalMS is the cluster-wide mean inter-arrival gap.
+	MeanArrivalMS float64
+	// GammaShape shapes inter-arrival burstiness (1 = Poisson).
+	GammaShape float64
+	// Series/ZipfS shape model-family popularity.
+	Series int
+	ZipfS  float64
+	// SwitchStep is the switching policy's queue-length step.
+	SwitchStep int
+	// SLOTargetMS is the slo policy's target.
+	SLOTargetMS float64
+	// AdmitRate/AdmitBurst configure the token bucket (rate 0 = admit
+	// all).
+	AdmitRate  float64
+	AdmitBurst float64
+	// KillFraction is where in instance 0's request stream its kill
+	// window opens (as a fraction of its expected share), running to
+	// the end of the run.
+	KillFraction float64
+	Seed         uint64
+}
+
+// DefaultServeBenchConfig is the committed-benchmark scenario: 4
+// instances, 6k requests per cell, bursty Gamma arrivals, Zipf series
+// popularity, token-bucket admission, and instance 0 dying halfway.
+func DefaultServeBenchConfig() ServeBenchConfig {
+	return ServeBenchConfig{
+		Instances:     4,
+		Requests:      6000,
+		MeanArrivalMS: 26,
+		GammaShape:    0.6,
+		Series:        6,
+		ZipfS:         1.1,
+		SwitchStep:    4,
+		SLOTargetMS:   40,
+		AdmitRate:     800,
+		AdmitBurst:    64,
+		KillFraction:  0.5,
+		Seed:          2022,
+	}
+}
+
+// ServeBenchClass is one class's digest within a cell.
+type ServeBenchClass struct {
+	Class      string  `json:"class"`
+	Served     int64   `json:"served"`
+	P50        float64 `json:"p50_ms"`
+	P95        float64 `json:"p95_ms"`
+	P99        float64 `json:"p99_ms"`
+	Attainment float64 `json:"slo_attainment"`
+}
+
+// ServeBenchCell is one policy × router cell of the matrix.
+type ServeBenchCell struct {
+	Policy    string            `json:"policy"`
+	Router    string            `json:"router"`
+	Rejected  int64             `json:"rejected"`
+	Failed    int64             `json:"failed"`
+	Failovers int64             `json:"failovers"`
+	Switches  int64             `json:"switch_attempts"`
+	Fairness  float64           `json:"fairness"`
+	Classes   []ServeBenchClass `json:"classes"`
+}
+
+// ServeBenchResult is the benchmark report; the JSON form is what
+// `make bench` writes to BENCH_serving.json, and benchdiff gates every
+// *_p95_ms leaf in it.
+type ServeBenchResult struct {
+	Instances int              `json:"instances"`
+	Requests  int              `json:"requests_per_cell"`
+	Cells     []ServeBenchCell `json:"cells"`
+}
+
+// servebenchCandidates is the model ladder every cell serves.
+func servebenchCandidates() []serving.ModelChoice {
+	return []serving.ModelChoice{
+		{ID: "flagship", ServiceMS: 20, Level: 1.0},
+		{ID: "mid", ServiceMS: 8, Level: 0.975},
+		{ID: "compact", ServiceMS: 3, Level: 0.955},
+		{ID: "tiny", ServiceMS: 1, Level: 0.93},
+	}
+}
+
+// servebenchClasses is the SLO class mix.
+func servebenchClasses() []cluster.Class {
+	return []cluster.Class{
+		{Name: "gold", Weight: 0.2, TargetMS: 30},
+		{Name: "silver", Weight: 0.3, TargetMS: 80},
+		{Name: "batch", Weight: 0.5},
+	}
+}
+
+// RunServeBench sweeps {fixed, switching, slo} × {round-robin,
+// least-loaded, affinity} over the cluster simulator and digests each
+// cell.
+func RunServeBench(ctx context.Context, cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	if cfg.Instances <= 0 {
+		cfg = DefaultServeBenchConfig()
+	}
+	candidates := servebenchCandidates()
+	policies := []struct {
+		name    string
+		factory func() serving.Policy
+	}{
+		{"fixed", func() serving.Policy { return serving.FixedPolicy{Model: candidates[0]} }},
+		{"switching", func() serving.Policy {
+			p, err := serving.NewSwitchingPolicy(candidates, cfg.SwitchStep)
+			if err != nil {
+				panic(err) // static candidate ladder; cannot fail
+			}
+			return p
+		}},
+		{"slo", func() serving.Policy {
+			p, err := serving.NewSLOPolicy(candidates, cfg.SLOTargetMS)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}},
+	}
+	routers := []struct {
+		name string
+		mk   func() (cluster.Router, error)
+	}{
+		{"round-robin", func() (cluster.Router, error) { return cluster.NewRoundRobin(), nil }},
+		{"least-loaded", func() (cluster.Router, error) { return cluster.NewLeastLoaded(), nil }},
+		{"affinity", func() (cluster.Router, error) { return cluster.AffinityRouter(cfg.Instances) }},
+	}
+
+	res := &ServeBenchResult{Instances: cfg.Instances, Requests: cfg.Requests}
+	for _, pol := range policies {
+		for _, rt := range routers {
+			cell, err := runServeBenchCell(ctx, cfg, pol.name, pol.factory, rt.mk)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: servebench %s/%s: %w", pol.name, rt.name, err)
+			}
+			res.Cells = append(res.Cells, *cell)
+		}
+	}
+	return res, nil
+}
+
+func runServeBenchCell(ctx context.Context, cfg ServeBenchConfig, policy string,
+	factory func() serving.Policy, mkRouter func() (cluster.Router, error)) (*ServeBenchCell, error) {
+	router, err := mkRouter()
+	if err != nil {
+		return nil, err
+	}
+	src, err := cluster.NewGenerator(cluster.GeneratorConfig{
+		Requests:      cfg.Requests,
+		MeanArrivalMS: cfg.MeanArrivalMS / float64(cfg.Instances),
+		GammaShape:    cfg.GammaShape,
+		Classes:       servebenchClasses(),
+		Series:        cfg.Series,
+		ZipfS:         cfg.ZipfS,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Instance 0 dies partway through its own request stream and stays
+	// dead: the cluster must absorb its share through failover.
+	sched := faults.NewSchedule(cfg.Seed + 1)
+	from := int64(float64(cfg.Requests) / float64(cfg.Instances) * cfg.KillFraction)
+	sched.Set(cluster.InstanceTarget(0), faults.Kill(from, 1<<62))
+
+	admission := cluster.AdmitAll()
+	if cfg.AdmitRate > 0 {
+		admission = cluster.NewTokenBucket(cfg.AdmitRate, cfg.AdmitBurst)
+	}
+	sim, err := cluster.New(
+		cluster.WithInstances(cfg.Instances),
+		cluster.WithPolicy(factory),
+		cluster.WithRouter(router),
+		cluster.WithAdmission(admission),
+		cluster.WithClasses(servebenchClasses()...),
+		cluster.WithFaultSchedule(sched),
+		cluster.WithSeed(cfg.Seed),
+	)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	cell := &ServeBenchCell{
+		Policy:    policy,
+		Router:    r.Router,
+		Rejected:  r.Rejected,
+		Failed:    r.Failed,
+		Failovers: r.Failovers,
+		Switches:  r.SwitchAttempts,
+		Fairness:  r.Fairness,
+	}
+	for _, c := range r.Classes {
+		cell.Classes = append(cell.Classes, ServeBenchClass{
+			Class: c.Class, Served: c.Served,
+			P50: c.P50, P95: c.P95, P99: c.P99,
+			Attainment: c.Attainment,
+		})
+	}
+	return cell, nil
+}
+
+// Report renders the paper-style summary block.
+func (r *ServeBenchResult) Report() Report {
+	rep := Report{
+		ID:    "servebench",
+		Title: "cluster serving tail latency by policy and router under instance failure",
+	}
+	rep.Lines = append(rep.Lines,
+		line("cluster:          %d instances, %d requests/cell, instance 0 killed mid-run", r.Instances, r.Requests),
+		line("%-10s %-13s %9s %9s %9s %8s %7s %7s %9s",
+			"POLICY", "ROUTER", "GOLD-P95", "SILV-P95", "BATCH-P95", "FAIRNESS", "REJECT", "FAIL", "FAILOVERS"),
+	)
+	for _, c := range r.Cells {
+		p95 := map[string]float64{}
+		for _, cl := range c.Classes {
+			p95[cl.Class] = cl.P95
+		}
+		rep.Lines = append(rep.Lines,
+			line("%-10s %-13s %8.1fms %8.1fms %8.1fms %8.3f %7d %7d %9d",
+				c.Policy, c.Router, p95["gold"], p95["silver"], p95["batch"],
+				c.Fairness, c.Rejected, c.Failed, c.Failovers))
+	}
+	return rep
+}

@@ -117,7 +117,9 @@ func TestCtxCheckGolden(t *testing.T) {
 
 func TestErrCmpGolden(t *testing.T) { runGolden(t, ErrCmp, "errcmp") }
 
-func TestOptCheckGolden(t *testing.T) { runGolden(t, OptCheck, "sommelier") }
+func TestOptCheckGolden(t *testing.T) {
+	runGolden(t, OptCheck, "sommelier", "sommelier/internal/serving")
+}
 
 func TestLockFlowGolden(t *testing.T) { runGolden(t, LockFlow, "lockflow") }
 
@@ -136,6 +138,7 @@ func TestSuppressGolden(t *testing.T) { runGolden(t, ErrCmp, "suppress") }
 func TestFullSuiteOverTestdata(t *testing.T) {
 	patterns := []string{
 		"lockcheck", "snapwrite", "sommelier", "sommelier/internal/catalog",
+		"sommelier/internal/serving",
 		"detcheck/index", "detcheck/plain", "ctxcheck/lib", "ctxcheck/mainprog",
 		"errcmp", "errcmp/deps",
 		"lockflow", "leakcheck", "errflow", "suppress",

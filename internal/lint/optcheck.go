@@ -4,38 +4,60 @@ import (
 	"go/ast"
 )
 
-// optionsFields is the frozen field set of the root package's legacy
-// Options struct, as of its deprecation in favour of functional
-// options. The struct is kept only so pre-options callers compile; its
-// conversion path (Options.options) would silently drop any field the
+// frozenStructs maps package name → struct name → its frozen field set.
+// These are the legacy configuration structs kept only so pre-options
+// callers compile after a functional-options redesign. Each has a
+// conversion path (Options.options, Workload → arrival stream,
+// FailureModel → fault schedule) that would silently drop any field the
 // author forgets to map, so the safe rule is absolute: no new fields,
-// ever. New knobs are With… functional options.
-var optionsFields = map[string]bool{
-	"Seed":             true,
-	"ValidationSize":   true,
-	"Bound":            true,
-	"Segments":         true,
-	"SegmentMinLen":    true,
-	"SampleSize":       true,
-	"IndexWorkers":     true,
-	"LatencyTable":     true,
-	"CustomValidation": true,
+// ever. New knobs are With… functional options — on the root engine,
+// the serving Simulator, or the serving/cluster Sim.
+var frozenStructs = map[string]map[string]map[string]bool{
+	"sommelier": {
+		"Options": {
+			"Seed":             true,
+			"ValidationSize":   true,
+			"Bound":            true,
+			"Segments":         true,
+			"SegmentMinLen":    true,
+			"SampleSize":       true,
+			"IndexWorkers":     true,
+			"LatencyTable":     true,
+			"CustomValidation": true,
+		},
+	},
+	"serving": {
+		"Workload": {
+			"Requests":      true,
+			"MeanArrivalMS": true,
+			"BurstEvery":    true,
+			"BurstLen":      true,
+			"BurstFactor":   true,
+			"Seed":          true,
+		},
+		"FailureModel": {
+			"SwitchFailProb": true,
+			"Seed":           true,
+		},
+	},
 }
 
-// OptCheck freezes the deprecated Options struct in the root sommelier
-// package: configuration knobs added after the functional-options
-// redesign must be With… Option constructors, not struct fields. A
-// field added to Options but not to the legacy converter would be
-// silently ignored for every NewEngine caller — this check turns that
-// quiet divergence into a lint failure.
+// OptCheck freezes the deprecated configuration structs: the root
+// package's Options plus the serving package's Workload and
+// FailureModel. Configuration knobs added after the functional-options
+// redesigns must be With… Option constructors, not struct fields — a
+// field added to a frozen struct but not to its legacy converter would
+// be silently ignored for every caller. This check turns that quiet
+// divergence into a lint failure.
 var OptCheck = &Analyzer{
 	Name: "optcheck",
-	Doc:  "the legacy Options struct is frozen; new knobs must be functional options",
+	Doc:  "legacy config structs (Options, Workload, FailureModel) are frozen; new knobs must be functional options",
 	Run:  runOptCheck,
 }
 
 func runOptCheck(pass *Pass) {
-	if pass.Pkg.Types.Name() != "sommelier" {
+	structs := frozenStructs[pass.Pkg.Types.Name()]
+	if structs == nil {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
@@ -46,7 +68,11 @@ func runOptCheck(pass *Pass) {
 			}
 			for _, spec := range gd.Specs {
 				ts, ok := spec.(*ast.TypeSpec)
-				if !ok || ts.Name.Name != "Options" {
+				if !ok {
+					continue
+				}
+				fields := structs[ts.Name.Name]
+				if fields == nil {
 					continue
 				}
 				st, ok := ts.Type.(*ast.StructType)
@@ -55,15 +81,16 @@ func runOptCheck(pass *Pass) {
 				}
 				for _, field := range st.Fields.List {
 					for _, name := range field.Names {
-						if !optionsFields[name.Name] {
+						if !fields[name.Name] {
 							pass.Reportf(name.Pos(),
-								"field %s added to the frozen legacy Options struct; add a With%s functional option instead",
-								name.Name, name.Name)
+								"field %s added to the frozen legacy %s struct; add a With%s functional option instead",
+								name.Name, ts.Name.Name, name.Name)
 						}
 					}
 					if len(field.Names) == 0 {
 						pass.Reportf(field.Pos(),
-							"embedded field added to the frozen legacy Options struct; add a functional option instead")
+							"embedded field added to the frozen legacy %s struct; add a functional option instead",
+							ts.Name.Name)
 					}
 				}
 			}

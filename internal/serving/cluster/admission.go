@@ -1,0 +1,68 @@
+package cluster
+
+// Admission gates requests at the cluster's front door, before routing:
+// a rejected request never reaches an instance and counts against its
+// class as rejected, not failed. Time is the shared virtual clock in
+// milliseconds — admission controllers never read wall clocks, so
+// decisions replay byte-identically.
+type Admission interface {
+	// Name identifies the controller in results and benchmarks.
+	Name() string
+	// Admit decides the request arriving at virtual time nowMS.
+	Admit(nowMS float64) bool
+}
+
+// admitAll is the no-op controller.
+type admitAll struct{}
+
+// AdmitAll returns the controller that admits every request.
+func AdmitAll() Admission { return admitAll{} }
+
+func (admitAll) Name() string             { return "admit-all" }
+func (admitAll) Admit(nowMS float64) bool { return true }
+
+// tokenBucket admits at a sustained rate with a burst allowance.
+type tokenBucket struct {
+	ratePerMS float64
+	burst     float64
+	tokens    float64
+	lastMS    float64
+	started   bool
+}
+
+// NewTokenBucket returns a token-bucket controller: tokens refill at
+// ratePerSec and cap at burst; each admitted request spends one token.
+// The bucket starts full at the first arrival. A non-positive rate
+// never refills (the bucket admits exactly its initial burst, or —
+// with burst <= 0 — nothing). Virtual time moving backwards (clock
+// skew between event sources) neither refills nor drains the bucket:
+// refill is computed from the furthest time seen.
+func NewTokenBucket(ratePerSec, burst float64) Admission {
+	if burst < 0 {
+		burst = 0
+	}
+	return &tokenBucket{ratePerMS: ratePerSec / 1000, burst: burst}
+}
+
+func (b *tokenBucket) Name() string { return "token-bucket" }
+
+func (b *tokenBucket) Admit(nowMS float64) bool {
+	if !b.started {
+		b.started = true
+		b.tokens = b.burst
+		b.lastMS = nowMS
+	} else if nowMS > b.lastMS {
+		if b.ratePerMS > 0 {
+			b.tokens += (nowMS - b.lastMS) * b.ratePerMS
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+		b.lastMS = nowMS
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import "testing"
+
+func TestTokenBucketBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 3)
+	// The bucket starts full: the first burst-sized volley at one
+	// instant all admits, the next request does not.
+	for i := 0; i < 3; i++ {
+		if !b.Admit(0) {
+			t.Fatalf("request %d of initial burst rejected", i)
+		}
+	}
+	if b.Admit(0) {
+		t.Fatal("request beyond burst admitted with no time elapsed")
+	}
+	// 1000/s = 1 token per ms: after 2ms two more fit.
+	if !b.Admit(2) || !b.Admit(2) {
+		t.Fatal("refilled tokens rejected")
+	}
+	if b.Admit(2) {
+		t.Fatal("admitted past refill")
+	}
+}
+
+func TestTokenBucketRefillClampsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 2)
+	if !b.Admit(0) || !b.Admit(0) {
+		t.Fatal("initial burst rejected")
+	}
+	// A long idle gap must not bank more than burst tokens.
+	if !b.Admit(1000) || !b.Admit(1000) {
+		t.Fatal("post-idle burst rejected")
+	}
+	if b.Admit(1000) {
+		t.Fatal("idle gap banked more than burst")
+	}
+}
+
+func TestTokenBucketZeroRate(t *testing.T) {
+	b := NewTokenBucket(0, 2)
+	if !b.Admit(0) || !b.Admit(0) {
+		t.Fatal("zero-rate bucket rejected its initial burst")
+	}
+	// Zero rate never refills, no matter how long passes.
+	if b.Admit(1e12) {
+		t.Fatal("zero-rate bucket refilled")
+	}
+}
+
+func TestTokenBucketZeroRateZeroBurst(t *testing.T) {
+	b := NewTokenBucket(0, 0)
+	if b.Admit(0) || b.Admit(1e9) {
+		t.Fatal("zero-rate zero-burst bucket admitted a request")
+	}
+}
+
+func TestTokenBucketClockSkew(t *testing.T) {
+	b := NewTokenBucket(1000, 1)
+	if !b.Admit(100) {
+		t.Fatal("first request rejected")
+	}
+	// Time running backwards must not refill (no free tokens from skew)…
+	if b.Admit(50) {
+		t.Fatal("backwards time refilled the bucket")
+	}
+	// …and must not move the refill baseline backwards either: only the
+	// 1ms beyond the furthest-seen time (100) refills here, not 51ms.
+	if b.Admit(99) {
+		t.Fatal("backwards time moved the refill baseline")
+	}
+	if !b.Admit(101) {
+		t.Fatal("1ms past the high-water mark should refill one token")
+	}
+	if b.Admit(101) {
+		t.Fatal("only one token should have refilled")
+	}
+}
+
+func TestNegativeBurstTreatedAsZero(t *testing.T) {
+	// Burst clamps to zero, and refill clamps at burst: a zero-capacity
+	// bucket never holds a whole token, so it admits nothing — same as
+	// an explicit zero burst.
+	b := NewTokenBucket(1000, -5)
+	if b.Admit(0) || b.Admit(1000) {
+		t.Fatal("zero-capacity bucket admitted a request")
+	}
+}

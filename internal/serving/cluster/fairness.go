@@ -1,0 +1,22 @@
+package cluster
+
+// JainIndex is Jain's fairness index (Σx)² / (n·Σx²) over the samples:
+// 1 when every class is treated equally, approaching 1/n as one class
+// monopolizes the resource. The cluster result applies it to per-class
+// SLO attainment, so it reads as "does the tail land evenly, or does
+// one class absorb it". Empty or all-zero input reports 1 (nothing to
+// be unfair about).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

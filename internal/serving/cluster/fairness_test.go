@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndexEqualShares(t *testing.T) {
+	if got := JainIndex([]float64{0.9, 0.9, 0.9, 0.9}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: index = %v, want 1", got)
+	}
+}
+
+func TestJainIndexMonopoly(t *testing.T) {
+	// One class takes everything: the index collapses to 1/n.
+	xs := []float64{1, 0, 0, 0}
+	if got, want := JainIndex(xs), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("monopoly: index = %v, want %v", got, want)
+	}
+}
+
+func TestJainIndexKnownValue(t *testing.T) {
+	// (1+2+3)² / (3·(1+4+9)) = 36/42.
+	xs := []float64{1, 2, 3}
+	want := 36.0 / 42.0
+	if got := JainIndex(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("index = %v, want %v", got, want)
+	}
+}
+
+func TestJainIndexScaleInvariant(t *testing.T) {
+	a := JainIndex([]float64{0.2, 0.4, 0.6})
+	b := JainIndex([]float64{20, 40, 60})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("index not scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestJainIndexDegenerate(t *testing.T) {
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty: index = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero: index = %v, want 1", got)
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+// Router selects the serving instance for each admitted request. A
+// router sees a read-only snapshot of every instance (queue lengths and
+// deployed models) and returns an instance index; out-of-range picks
+// fall back to instance 0. Routers may carry state (round-robin's
+// counter) and therefore must not be shared between simulators.
+//
+// The three built-ins span the classic trade-off: round-robin is
+// oblivious but perfectly even, least-loaded chases the shortest
+// backlog, and the affinity router (AffinityRouter, in cluster.go)
+// trades instantaneous balance for model-family locality — fewer
+// switches because one series keeps hitting the instance whose model
+// is already warm.
+type Router interface {
+	// Name identifies the router in results and benchmarks.
+	Name() string
+	// Route picks an instance index for req from the current views.
+	Route(req Request, views []InstanceView) int
+}
+
+// roundRobin cycles through instances in order, ignoring load.
+type roundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the stateful round-robin router.
+func NewRoundRobin() Router { return &roundRobin{} }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Route(req Request, views []InstanceView) int {
+	if len(views) == 0 {
+		return 0
+	}
+	i := r.next % len(views)
+	r.next = (r.next + 1) % len(views)
+	return views[i].ID
+}
+
+// leastLoaded picks the shortest queue, breaking ties toward the lowest
+// instance ID — a deterministic join-shortest-queue.
+type leastLoaded struct{}
+
+// NewLeastLoaded returns the least-loaded (join-shortest-queue) router.
+func NewLeastLoaded() Router { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Route(req Request, views []InstanceView) int {
+	best := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].QueueLen < views[best].QueueLen {
+			best = i
+		}
+	}
+	if len(views) == 0 {
+		return 0
+	}
+	return views[best].ID
+}

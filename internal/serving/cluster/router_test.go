@@ -1,0 +1,74 @@
+package cluster
+
+import "testing"
+
+func views(queues ...int) []InstanceView {
+	vs := make([]InstanceView, len(queues))
+	for i, q := range queues {
+		vs[i] = InstanceView{ID: i, QueueLen: q}
+	}
+	return vs
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin()
+	vs := views(0, 0, 0)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := r.Route(Request{}, vs); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastLoadedPicksShortestQueue(t *testing.T) {
+	r := NewLeastLoaded()
+	if got := r.Route(Request{}, views(3, 1, 2)); got != 1 {
+		t.Fatalf("picked %d, want 1", got)
+	}
+	// Ties break toward the lowest instance ID.
+	if got := r.Route(Request{}, views(2, 1, 1)); got != 1 {
+		t.Fatalf("tie pick %d, want 1", got)
+	}
+}
+
+func TestAffinityStickyPerSeries(t *testing.T) {
+	r, err := AffinityRouter(4)
+	if err != nil {
+		t.Fatalf("AffinityRouter: %v", err)
+	}
+	vs := views(0, 0, 0, 0)
+	picks := map[string]int{}
+	for _, series := range []string{"series0", "series1", "series2", "series3", "series4"} {
+		first := r.Route(Request{Series: series}, vs)
+		if first < 0 || first >= 4 {
+			t.Fatalf("series %s routed out of range: %d", series, first)
+		}
+		picks[series] = first
+		// The pick must not depend on load: pile work onto that instance
+		// and the series still lands there (that's the point — the model
+		// is warm there).
+		loaded := views(0, 0, 0, 0)
+		loaded[first].QueueLen = 100
+		if again := r.Route(Request{Series: series}, loaded); again != first {
+			t.Fatalf("series %s moved from %d to %d under load", series, first, again)
+		}
+	}
+	distinct := map[int]bool{}
+	for _, p := range picks {
+		distinct[p] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all five series landed on one instance: %v", picks)
+	}
+}
+
+func TestAffinitySerieslessFallsBackToLeastLoaded(t *testing.T) {
+	r, err := AffinityRouter(3)
+	if err != nil {
+		t.Fatalf("AffinityRouter: %v", err)
+	}
+	if got := r.Route(Request{}, views(5, 0, 3)); got != 1 {
+		t.Fatalf("seriesless pick %d, want least-loaded 1", got)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceRecord is one line of a JSONL workload trace.
+type TraceRecord struct {
+	// AtMS is the arrival time in virtual milliseconds.
+	AtMS float64 `json:"at_ms"`
+	// Class names the request's SLO class ("default" when empty).
+	Class string `json:"class,omitempty"`
+	// Series is the optional model-family affinity key.
+	Series string `json:"series,omitempty"`
+}
+
+// traceSource replays a parsed trace in arrival order.
+type traceSource struct {
+	reqs []Request
+	next int
+}
+
+// NewTraceSource parses a JSONL trace (one TraceRecord per line; blank
+// lines skipped) and returns a Source replaying it. Records are
+// stably sorted by arrival time, so traces need not be pre-sorted and
+// equal-time records keep file order.
+func NewTraceSource(r io.Reader) (Source, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []TraceRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("serving/cluster: trace line %d: %w", line, err)
+		}
+		if rec.AtMS < 0 {
+			return nil, fmt.Errorf("serving/cluster: trace line %d: negative arrival time %v", line, rec.AtMS)
+		}
+		if rec.Class == "" {
+			rec.Class = "default"
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serving/cluster: reading trace: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("serving/cluster: empty trace")
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].AtMS < recs[j].AtMS })
+	ts := &traceSource{reqs: make([]Request, len(recs))}
+	for i, rec := range recs {
+		ts.reqs[i] = Request{Seq: int64(i), ArriveMS: rec.AtMS, Class: rec.Class, Series: rec.Series}
+	}
+	return ts, nil
+}
+
+func (t *traceSource) Name() string { return "trace" }
+
+func (t *traceSource) Next() (Request, bool) {
+	if t.next >= len(t.reqs) {
+		return Request{}, false
+	}
+	req := t.reqs[t.next]
+	t.next++
+	return req, true
+}

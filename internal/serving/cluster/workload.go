@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sommelier/internal/tensor"
+)
+
+// Source supplies the request stream, one request at a time in
+// non-decreasing arrival order. The event loop pulls lazily — one
+// pending arrival at a time — so a Source can be a generator or a
+// trace reader of any length without materializing the stream.
+type Source interface {
+	// Name identifies the workload in results and benchmarks.
+	Name() string
+	// Next returns the next request, or ok=false when the stream ends.
+	Next() (Request, bool)
+}
+
+// GeneratorConfig parameterizes the distribution-based workload
+// generator.
+type GeneratorConfig struct {
+	// Requests is the stream length.
+	Requests int
+	// MeanArrivalMS is the mean inter-arrival gap.
+	MeanArrivalMS float64
+	// GammaShape selects the inter-arrival distribution: <= 0 or 1
+	// gives exponential gaps (a Poisson process); other values give
+	// Gamma(shape) gaps normalized to the same mean — shape < 1 is
+	// burstier than Poisson, shape > 1 smoother.
+	GammaShape float64
+	// BurstEvery/BurstLen/BurstFactor overlay deterministic load spikes:
+	// every BurstEvery-th request starts BurstLen requests whose gaps
+	// shrink by BurstFactor — the same knobs as serving.Workload.
+	BurstEvery  int
+	BurstLen    int
+	BurstFactor float64
+	// Classes assigns SLO classes by weight. Empty means every request
+	// is class "default".
+	Classes []Class
+	// Series is how many model families the stream references
+	// ("series0" … "seriesN-1"). Zero means requests carry no series.
+	Series int
+	// ZipfS skews series popularity: P(k) ∝ 1/(k+1)^s. Zero or negative
+	// means uniform.
+	ZipfS float64
+	// Seed drives the generator deterministically.
+	Seed uint64
+}
+
+// generator produces requests from the configured distributions.
+type generator struct {
+	cfg       GeneratorConfig
+	rng       *tensor.RNG
+	classCDF  []float64
+	seriesCDF []float64
+	seq       int64
+	clockMS   float64
+}
+
+// NewGenerator builds a distribution-based Source: Poisson or Gamma
+// inter-arrivals with optional deterministic bursts, class assignment
+// by weight, and Zipf-skewed series popularity.
+func NewGenerator(cfg GeneratorConfig) (Source, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serving/cluster: generator needs a positive request count, got %d", cfg.Requests)
+	}
+	if cfg.MeanArrivalMS <= 0 {
+		return nil, fmt.Errorf("serving/cluster: generator needs a positive mean arrival gap, got %v", cfg.MeanArrivalMS)
+	}
+	g := &generator{cfg: cfg, rng: tensor.NewRNG(cfg.Seed | 1)}
+	if len(cfg.Classes) > 0 {
+		var total float64
+		for _, cl := range cfg.Classes {
+			if cl.Weight < 0 {
+				return nil, fmt.Errorf("serving/cluster: class %q has negative weight", cl.Name)
+			}
+			total += cl.Weight
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("serving/cluster: class weights sum to zero")
+		}
+		acc := 0.0
+		for _, cl := range cfg.Classes {
+			acc += cl.Weight / total
+			g.classCDF = append(g.classCDF, acc)
+		}
+	}
+	if cfg.Series > 0 {
+		acc := 0.0
+		var weights []float64
+		var total float64
+		for k := 0; k < cfg.Series; k++ {
+			w := 1.0
+			if cfg.ZipfS > 0 {
+				w = 1 / math.Pow(float64(k+1), cfg.ZipfS)
+			}
+			weights = append(weights, w)
+			total += w
+		}
+		for _, w := range weights {
+			acc += w / total
+			g.seriesCDF = append(g.seriesCDF, acc)
+		}
+	}
+	return g, nil
+}
+
+func (g *generator) Name() string {
+	shape := "poisson"
+	if g.cfg.GammaShape > 0 && g.cfg.GammaShape != 1 {
+		shape = fmt.Sprintf("gamma(%.2f)", g.cfg.GammaShape)
+	}
+	if g.cfg.BurstEvery > 0 {
+		shape += "+bursts"
+	}
+	return shape
+}
+
+func (g *generator) Next() (Request, bool) {
+	if g.seq >= int64(g.cfg.Requests) {
+		return Request{}, false
+	}
+	gap := g.cfg.MeanArrivalMS * g.sampleGap()
+	if g.cfg.BurstEvery > 0 && g.cfg.BurstFactor > 0 {
+		pos := int(g.seq) % g.cfg.BurstEvery
+		if pos < g.cfg.BurstLen {
+			gap /= g.cfg.BurstFactor
+		}
+	}
+	if g.seq == 0 {
+		gap = 0
+	}
+	g.clockMS += gap
+	req := Request{Seq: g.seq, ArriveMS: g.clockMS, Class: g.pickClass(), Series: g.pickSeries()}
+	g.seq++
+	return req, true
+}
+
+// sampleGap draws a mean-1 inter-arrival gap from the configured
+// distribution.
+func (g *generator) sampleGap() float64 {
+	k := g.cfg.GammaShape
+	if k <= 0 || k == 1 {
+		return g.rng.ExpFloat64()
+	}
+	// Gamma(k,1)/k has mean 1 for any shape k.
+	return g.gamma(k) / k
+}
+
+// gamma samples Gamma(shape, 1) by Marsaglia–Tsang; shape < 1 is
+// boosted through Gamma(shape+1) · U^(1/shape).
+func (g *generator) gamma(shape float64) float64 {
+	if shape < 1 {
+		u := g.rng.Float64()
+		for u == 0 {
+			u = g.rng.Float64()
+		}
+		return g.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func (g *generator) pickClass() string {
+	if len(g.classCDF) == 0 {
+		return "default"
+	}
+	return g.cfg.Classes[pickCDF(g.classCDF, g.rng.Float64())].Name
+}
+
+func (g *generator) pickSeries() string {
+	if len(g.seriesCDF) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("series%d", pickCDF(g.seriesCDF, g.rng.Float64()))
+}
+
+// pickCDF binary-searches the cumulative distribution for u ∈ [0,1).
+func pickCDF(cdf []float64, u float64) int {
+	i := sort.SearchFloat64s(cdf, u)
+	if i >= len(cdf) {
+		i = len(cdf) - 1
+	}
+	return i
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func drain(t *testing.T, src Source) []Request {
+	t.Helper()
+	var reqs []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return reqs
+		}
+		reqs = append(reqs, r)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Requests: 500, MeanArrivalMS: 3, GammaShape: 2,
+		Classes: testClasses(), Series: 4, ZipfS: 1.2, Seed: 9}
+	mk := func() []Request {
+		src, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		return drain(t, src)
+	}
+	a, b := mk(), mk()
+	if len(a) != 500 {
+		t.Fatalf("generated %d requests, want 500", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorArrivalsMonotone(t *testing.T) {
+	for _, shape := range []float64{0, 0.5, 1, 3} {
+		src, err := NewGenerator(GeneratorConfig{Requests: 300, MeanArrivalMS: 2, GammaShape: shape, Seed: 5})
+		if err != nil {
+			t.Fatalf("NewGenerator(shape=%v): %v", shape, err)
+		}
+		reqs := drain(t, src)
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].ArriveMS < reqs[i-1].ArriveMS {
+				t.Fatalf("shape=%v: arrivals not monotone at %d", shape, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorMeanGap(t *testing.T) {
+	// The empirical mean inter-arrival gap should track MeanArrivalMS for
+	// both Poisson and Gamma shapes (the Gamma is mean-normalized).
+	for _, shape := range []float64{0, 0.5, 4} {
+		src, err := NewGenerator(GeneratorConfig{Requests: 20000, MeanArrivalMS: 5, GammaShape: shape, Seed: 31})
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		reqs := drain(t, src)
+		mean := reqs[len(reqs)-1].ArriveMS / float64(len(reqs)-1)
+		if math.Abs(mean-5) > 0.5 {
+			t.Errorf("shape=%v: mean gap %v, want ≈5", shape, mean)
+		}
+	}
+}
+
+func TestGeneratorClassWeights(t *testing.T) {
+	src, err := NewGenerator(GeneratorConfig{Requests: 20000, MeanArrivalMS: 1,
+		Classes: []Class{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}, Seed: 17})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	counts := map[string]int{}
+	for _, r := range drain(t, src) {
+		counts[r.Class]++
+	}
+	share := float64(counts["a"]) / 20000
+	if math.Abs(share-0.75) > 0.02 {
+		t.Fatalf("class a share = %v, want ≈0.75", share)
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	src, err := NewGenerator(GeneratorConfig{Requests: 20000, MeanArrivalMS: 1,
+		Series: 8, ZipfS: 1.5, Seed: 23})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	counts := map[string]int{}
+	for _, r := range drain(t, src) {
+		counts[r.Series]++
+	}
+	if counts["series0"] <= counts["series1"] || counts["series1"] <= counts["series3"] {
+		t.Fatalf("series popularity not Zipf-skewed: %v", counts)
+	}
+}
+
+func TestGeneratorBursts(t *testing.T) {
+	base, err := NewGenerator(GeneratorConfig{Requests: 1000, MeanArrivalMS: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	bursty, err := NewGenerator(GeneratorConfig{Requests: 1000, MeanArrivalMS: 10,
+		BurstEvery: 100, BurstLen: 50, BurstFactor: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	a, b := drain(t, base), drain(t, bursty)
+	if b[len(b)-1].ArriveMS >= a[len(a)-1].ArriveMS {
+		t.Fatalf("bursty stream should finish earlier: %v vs %v",
+			b[len(b)-1].ArriveMS, a[len(a)-1].ArriveMS)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(GeneratorConfig{Requests: 0, MeanArrivalMS: 1}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Requests: 1, MeanArrivalMS: 0}); err == nil {
+		t.Error("zero mean gap accepted")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Requests: 1, MeanArrivalMS: 1,
+		Classes: []Class{{Name: "a", Weight: -1}}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Requests: 1, MeanArrivalMS: 1,
+		Classes: []Class{{Name: "a", Weight: 0}}}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	trace := `{"at_ms": 5, "class": "gold", "series": "series1"}
+{"at_ms": 1}
+{"at_ms": 5, "class": "batch"}
+
+{"at_ms": 0.5, "class": "silver"}`
+	src, err := NewTraceSource(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("NewTraceSource: %v", err)
+	}
+	reqs := drain(t, src)
+	if len(reqs) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(reqs))
+	}
+	wantClasses := []string{"silver", "default", "gold", "batch"}
+	for i, want := range wantClasses {
+		if reqs[i].Class != want {
+			t.Fatalf("record %d class = %q, want %q (stable sort by at_ms)", i, reqs[i].Class, want)
+		}
+		if reqs[i].Seq != int64(i) {
+			t.Fatalf("record %d seq = %d, want %d", i, reqs[i].Seq, i)
+		}
+	}
+	if reqs[2].Series != "series1" {
+		t.Fatalf("series lost in parse: %+v", reqs[2])
+	}
+}
+
+func TestTraceSourceErrors(t *testing.T) {
+	if _, err := NewTraceSource(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTraceSource(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := NewTraceSource(strings.NewReader(`{"at_ms": -1}`)); err == nil {
+		t.Error("negative arrival accepted")
+	}
+}

@@ -1,8 +1,10 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 
+	"sommelier/internal/obs"
 	"sommelier/internal/stats"
 )
 
@@ -14,6 +16,17 @@ import (
 // model relaxes that. A failed switch is not a failed request — the
 // server keeps serving with its previously deployed model and the
 // simulator reports the failed-switch count alongside tail latency.
+//
+// The failure sequence is drawn from faults.Schedule per-target
+// streams (one SwitchTarget per server), the same machinery the
+// cluster chaos suite replays from: a flat SwitchFailProb becomes an
+// always-open Flake window per server, and WithFaultSchedule exposes
+// the full windowed form (kill switches for ops [a,b), slow them, …).
+// The sequence a server sees depends only on its own switch-attempt
+// count, never on cross-server interleaving.
+//
+// The struct is frozen (sommlint optcheck): richer fault shapes are
+// expressed through WithFaultSchedule, not new fields here.
 type FailureModel struct {
 	// SwitchFailProb is the probability in [0,1] that a model switch
 	// attempt fails, leaving the old model deployed.
@@ -32,42 +45,80 @@ func (fm FailureModel) validate() error {
 // SimulateWithFailures runs Simulate under a failure model: switch
 // attempts fail with fm.SwitchFailProb and fall back to the previously
 // deployed model, with counts reported in the Result.
+//
+// Deprecated: use NewSimulator(WithPolicy(policy), WithServers(servers),
+// WithFailureModel(fm)) and Run with a caller context.
 func SimulateWithFailures(w Workload, policy Policy, servers int, fm FailureModel) (Result, error) {
-	return simulate(w, policy, servers, fm)
+	sim, err := NewSimulator(WithPolicy(policy), WithServers(servers), WithFailureModel(fm))
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(context.Background(), w)
 }
 
-// RunComparisonWithFailures executes the Figure 9(c) comparison with
+// RunComparisonContext executes the Figure 9(c) comparison — baseline,
+// scale-out, switching, switching+scale-out on the same workload — with
 // the switching configurations subjected to the failure model. The
 // fixed baseline and the scale-out configuration never switch models,
-// so they are unaffected by construction.
-func RunComparisonWithFailures(w Workload, candidates []ModelChoice, switchStep int, fm FailureModel) (Comparison, error) {
+// so they are unaffected by construction. A non-nil observer receives
+// every configuration's result (per-policy latency histograms and
+// switch counters), so callers can read percentiles from the unified
+// snapshot rather than recomputing them from raw latencies.
+func RunComparisonContext(ctx context.Context, o *obs.Observer, w Workload,
+	candidates []ModelChoice, switchStep int, fm FailureModel) (Comparison, error) {
 	if len(candidates) == 0 {
 		return Comparison{}, fmt.Errorf("serving: no candidates")
 	}
-	if err := fm.validate(); err != nil {
-		return Comparison{}, err
-	}
 	flagship := candidates[0]
 	var c Comparison
-	var err error
-	if c.Baseline, err = Simulate(w, FixedPolicy{Model: flagship}, 1); err != nil {
-		return c, err
-	}
-	if c.ScaleOut, err = SimulateRacing(w, flagship); err != nil {
-		return c, err
-	}
-	sw, err := NewSwitchingPolicy(candidates, switchStep)
+
+	base, err := NewSimulator(WithPolicy(FixedPolicy{Model: flagship}), WithObserver(o))
 	if err != nil {
 		return c, err
 	}
-	if c.Switching, err = simulate(w, sw, 1, fm); err != nil {
+	if c.Baseline, err = base.Run(ctx, w); err != nil {
 		return c, err
 	}
-	if c.Combined, err = simulate(w, sw, 2, fm); err != nil {
+	if c.ScaleOut, err = base.RunRacing(ctx, w, flagship); err != nil {
+		return c, err
+	}
+
+	sw1, err := NewSwitchingPolicy(candidates, switchStep)
+	if err != nil {
+		return c, err
+	}
+	single, err := NewSimulator(WithPolicy(sw1), WithFailureModel(fm), WithObserver(o))
+	if err != nil {
+		return c, err
+	}
+	if c.Switching, err = single.Run(ctx, w); err != nil {
+		return c, err
+	}
+
+	// The combined run is observed by hand: its result is renamed after
+	// the run, and the histogram key must carry the renamed policy.
+	sw2, err := NewSwitchingPolicy(candidates, switchStep)
+	if err != nil {
+		return c, err
+	}
+	double, err := NewSimulator(WithPolicy(sw2), WithServers(2), WithFailureModel(fm))
+	if err != nil {
+		return c, err
+	}
+	if c.Combined, err = double.Run(ctx, w); err != nil {
 		return c, err
 	}
 	c.Combined.PolicyName = "switching+scale-out"
+	ObserveResult(o, c.Combined)
 	return c, nil
+}
+
+// RunComparisonWithFailures executes the Figure 9(c) comparison with
+// the switching configurations subjected to the failure model.
+//
+// Deprecated: use RunComparisonContext with a caller context.
+func RunComparisonWithFailures(w Workload, candidates []ModelChoice, switchStep int, fm FailureModel) (Comparison, error) {
+	return RunComparisonContext(context.Background(), nil, w, candidates, switchStep, fm)
 }
 
 // DegradationReport summarizes how a result behaved under faults:

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"strings"
 
 	"sommelier/internal/obs"
@@ -31,17 +32,12 @@ func ObserveComparison(o *obs.Observer, c Comparison) {
 }
 
 // RunComparisonObserved executes the Figure 9(c) comparison under a
-// failure model and records every configuration into the observer on
-// the way out, so callers read percentiles from the unified snapshot
-// rather than recomputing them from raw latencies.
+// failure model and records every configuration into the observer.
+//
+// Deprecated: use RunComparisonContext with a caller context.
 func RunComparisonObserved(o *obs.Observer, w Workload, candidates []ModelChoice,
 	switchStep int, fm FailureModel) (Comparison, error) {
-	cmp, err := RunComparisonWithFailures(w, candidates, switchStep, fm)
-	if err != nil {
-		return cmp, err
-	}
-	ObserveComparison(o, cmp)
-	return cmp, nil
+	return RunComparisonContext(context.Background(), o, w, candidates, switchStep, fm)
 }
 
 // MetricName folds a policy name into metric-identifier form

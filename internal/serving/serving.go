@@ -9,12 +9,23 @@
 // paper itself notes DNN inference latency is predictable from model
 // size, so a service time proportional to model FLOPs reproduces the
 // queueing dynamics that generate the tail-latency results.
+//
+// The configuration surface is ctx-first with functional options:
+// NewSimulator(WithPolicy(...), WithServers(...), ...).Run(ctx, w). The
+// pre-redesign entry points (Simulate, SimulateWithFailures,
+// SimulateRacing, RunComparison…) remain as Deprecated wrappers. The
+// cluster-scale generalization — many instances behind pluggable
+// routing and admission control — lives in the serving/cluster
+// subpackage.
 package serving
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"sommelier/internal/faults"
 	"sommelier/internal/stats"
 	"sommelier/internal/tensor"
 )
@@ -30,6 +41,11 @@ type ModelChoice struct {
 }
 
 // Workload describes the arrival process.
+//
+// The struct is frozen (sommlint optcheck): new workload knobs belong on
+// the serving/cluster generator config or as Simulator options, not
+// here — a field added here would be silently ignored by every
+// pre-redesign call site.
 type Workload struct {
 	// Requests is the total number of arrivals to simulate.
 	Requests int
@@ -119,6 +135,12 @@ type Result struct {
 // Summary returns latency percentiles.
 func (r Result) Summary() stats.Summary { return stats.Summarize(r.Latencies) }
 
+// Arrivals generates the workload's request arrival times in
+// milliseconds — the exact stream the simulator replays — so other
+// harnesses (the serving/cluster simulator, trace writers) can feed
+// byte-identical arrivals without re-deriving the generator.
+func Arrivals(w Workload) []float64 { return arrivals(w) }
+
 // arrivals generates the request arrival times for a workload.
 func arrivals(w Workload) []float64 {
 	rng := tensor.NewRNG(w.Seed + 0xa221)
@@ -140,39 +162,50 @@ func arrivals(w Workload) []float64 {
 	return times
 }
 
+// ctxCheckEvery is how many arrivals the event loops process between
+// context checks — cheap enough to be invisible, frequent enough that
+// cancellation lands promptly.
+const ctxCheckEvery = 1024
+
 // Simulate runs the workload against `servers` identical servers using
-// the policy. Requests join the shortest backlog (join-shortest-queue,
-// the paper's even distribution under heavy load); each server is a FIFO
-// processor. Model switches always succeed; see SimulateWithFailures
-// for runs under a failure model.
+// the policy with switches always succeeding.
+//
+// Deprecated: use NewSimulator(WithPolicy(policy),
+// WithServers(servers)) and Run with a caller context.
 func Simulate(w Workload, policy Policy, servers int) (Result, error) {
-	return simulate(w, policy, servers, FailureModel{})
+	sim, err := NewSimulator(WithPolicy(policy), WithServers(servers))
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(context.Background(), w)
 }
 
-// simulate is the core discrete-event loop, shared by the fault-free
-// and fault-injecting entry points.
-func simulate(w Workload, policy Policy, servers int, fm FailureModel) (Result, error) {
+// runSim is the core discrete-event loop, shared by every
+// fixed-and-switching entry point. Requests join the shortest backlog
+// (join-shortest-queue, the paper's even distribution under heavy
+// load); each server is a FIFO processor. Switch faults are drawn from
+// the resolved faults.Schedule: one decision per switch attempt, from
+// the attempted server's own SwitchTarget stream.
+func runSim(ctx context.Context, cfg simConfig, w Workload) (Result, error) {
 	if w.Requests <= 0 || w.MeanArrivalMS <= 0 {
 		return Result{}, fmt.Errorf("serving: workload needs positive requests and arrival gap")
 	}
-	if err := fm.validate(); err != nil {
-		return Result{}, err
+	if w.Seed == 0 {
+		w.Seed = cfg.seed
 	}
-	if servers <= 0 {
-		servers = 1
-	}
+	servers := cfg.servers
+	policy := cfg.policy
+	sched := switchSchedule(cfg)
 	arr := arrivals(w)
 	// deployed[s] is the model currently installed on server s; a
 	// policy choice differing from it is a switch attempt, which the
-	// failure model may reject (the request then runs on the old model).
+	// fault schedule may reject (the request then runs on the old model)
+	// or slow (the load delay lands on the switched request).
 	deployed := make([]ModelChoice, servers)
 	haveDeployed := make([]bool, servers)
-	var frng *tensor.RNG
-	if fm.SwitchFailProb > 0 {
-		frng = tensor.NewRNG(fm.Seed + 0x5eed)
-	}
-	// freeAt[s] is when server s finishes its backlog; queue[s] is the
-	// number of requests assigned and not finished at current arrival.
+	// freeAt[s] is when server s finishes its backlog; backlog[s] holds
+	// the finish times of requests assigned and not finished at the
+	// current arrival.
 	freeAt := make([]float64, servers)
 	type pending struct{ finish float64 }
 	backlog := make([][]pending, servers)
@@ -185,7 +218,12 @@ func simulate(w Workload, policy Policy, servers int, fm FailureModel) (Result, 
 	}
 	var levelSum float64
 
-	for _, at := range arr {
+	for i, at := range arr {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("serving: simulation aborted: %w", err)
+			}
+		}
 		// Retire finished work from backlogs.
 		for s := range backlog {
 			q := backlog[s]
@@ -208,11 +246,23 @@ func simulate(w Workload, policy Policy, servers int, fm FailureModel) (Result, 
 			deployed[best], haveDeployed[best] = choice, true
 		case choice.ID != deployed[best].ID:
 			res.SwitchAttempts++
-			if frng != nil && frng.Float64() < fm.SwitchFailProb {
-				res.FailedSwitches++
-				choice = deployed[best] // fall back to the running model
-			} else {
+			var d faults.Decision
+			if sched != nil {
+				d = sched.Next(SwitchTarget(best))
+			}
+			switch d.Kind {
+			case faults.None:
 				deployed[best] = choice
+			case faults.Latency:
+				// The switch succeeds but loading the new weights is
+				// slow: the switched request absorbs the load delay.
+				deployed[best] = choice
+				choice.ServiceMS += float64(d.Latency) / float64(time.Millisecond)
+			default:
+				// ConnError / ServerError / Truncate all mean the new
+				// model never arrived: fall back to the running model.
+				res.FailedSwitches++
+				choice = deployed[best]
 			}
 		}
 
@@ -232,13 +282,16 @@ func simulate(w Workload, policy Policy, servers int, fm FailureModel) (Result, 
 	return res, nil
 }
 
-// SimulateRacing models the paper's idealized scale-out under light load:
+// runRacing models the paper's idealized scale-out under light load:
 // each request runs on both of two servers and the earlier completion
 // counts; under heavy load (any backlog) requests are split evenly. It
-// uses a fixed policy, matching the "system optimizations only" bar.
-func SimulateRacing(w Workload, model ModelChoice) (Result, error) {
+// serves a fixed model, matching the "system optimizations only" bar.
+func runRacing(ctx context.Context, cfg simConfig, w Workload, model ModelChoice) (Result, error) {
 	if w.Requests <= 0 || w.MeanArrivalMS <= 0 {
 		return Result{}, fmt.Errorf("serving: workload needs positive requests and arrival gap")
+	}
+	if w.Seed == 0 {
+		w.Seed = cfg.seed
 	}
 	arr := arrivals(w)
 	freeAt := [2]float64{}
@@ -250,7 +303,12 @@ func SimulateRacing(w Workload, model ModelChoice) (Result, error) {
 		MeanLevel:  model.Level,
 	}
 	toggle := 0
-	for _, at := range arr {
+	for i, at := range arr {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("serving: simulation aborted: %w", err)
+			}
+		}
 		idle0, idle1 := freeAt[0] <= at, freeAt[1] <= at
 		if idle0 && idle1 {
 			// Light load: race both servers; the earlier (identical
@@ -274,6 +332,19 @@ func SimulateRacing(w Workload, model ModelChoice) (Result, error) {
 	return res, nil
 }
 
+// SimulateRacing models the idealized two-server scale-out with a fixed
+// model.
+//
+// Deprecated: use NewSimulator(WithPolicy(FixedPolicy{Model: model}))
+// and RunRacing with a caller context.
+func SimulateRacing(w Workload, model ModelChoice) (Result, error) {
+	sim, err := NewSimulator(WithPolicy(FixedPolicy{Model: model}))
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.RunRacing(context.Background(), w, model)
+}
+
 // Comparison bundles the four Figure 9(c) configurations.
 type Comparison struct {
 	Baseline, ScaleOut, Switching, Combined Result
@@ -281,9 +352,12 @@ type Comparison struct {
 
 // RunComparison executes the full Figure 9(c) experiment: the same
 // workload under all four configurations, with switches always
-// succeeding. See RunComparisonWithFailures for runs under faults.
+// succeeding.
+//
+// Deprecated: use RunComparisonContext with a caller context (a nil
+// observer reproduces this function's behaviour).
 func RunComparison(w Workload, candidates []ModelChoice, switchStep int) (Comparison, error) {
-	return RunComparisonWithFailures(w, candidates, switchStep, FailureModel{})
+	return RunComparisonContext(context.Background(), nil, w, candidates, switchStep, FailureModel{})
 }
 
 // SortedModelShare renders a result's per-model request counts in a
